@@ -1,0 +1,57 @@
+// Ablation: layer fusion (Section II-G). Fused conv+bias+ReLU (APPLY while
+// the output block is hot in cache) vs conv followed by separate full passes
+// over the output tensor — the separate version pays the extra memory sweeps
+// the paper's fusion eliminates. NOTE: the benefit requires bandwidth
+// pressure (multicore, output > LLC); on one core with cache-resident
+// tensors the per-block APPLY dispatch can outweigh the saved sweeps.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace xconv;
+
+namespace {
+void separate_bias_relu(tensor::ActTensor& out, const std::vector<float>& b) {
+  const int N = out.n(), CB = out.blocks(), v = out.vlen(), H = out.h(),
+            W = out.w();
+  for (int n = 0; n < N; ++n)
+    for (int cb = 0; cb < CB; ++cb)
+      for (int h = 0; h < H; ++h) {
+        float* row = out.at(n, cb, h, 0);
+        for (int w = 0; w < W; ++w)
+          for (int l = 0; l < v; ++l) row[w * v + l] += b[cb * v + l];
+      }
+  for (int n = 0; n < N; ++n)  // second sweep, like an unfused ReLU layer
+    for (int cb = 0; cb < CB; ++cb)
+      for (int h = 0; h < H; ++h) {
+        float* row = out.at(n, cb, h, 0);
+        for (int i = 0; i < W * v; ++i) row[i] = row[i] > 0 ? row[i] : 0;
+      }
+}
+}  // namespace
+
+static void BM_Fusion(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  const auto p = topo::table1_params(topo::resnet50_table1()[8],  // 1x1 28x28
+                                     platform::bench_minibatch(1));
+  core::ConvOptions o;
+  o.fuse = fused ? core::FusedOp::bias_relu : core::FusedOp::none;
+  core::ConvLayer layer(p, o);
+  auto t = bench::make_tensors(layer);
+  std::vector<float> bias(layer.kb() * layer.vlen(), 0.01f);
+  core::FusionArgs args;
+  args.bias = bias.data();
+  for (auto _ : state) {
+    layer.forward(t.in, t.wt, t.out, args);
+    if (!fused) separate_bias_relu(t.out, bias);
+    benchmark::DoNotOptimize(t.out.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(p.flops()) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(fused ? "fused bias+relu (APPLY)" : "separate passes");
+}
+
+BENCHMARK(BM_Fusion)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Ablation: two-level software prefetch (Section II-E), on/off across a
+// 1x1 (bandwidth-leaning) and a 3x3 (compute-leaning) layer and the update
+// pass, which streams large activations.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace xconv;
+
+static void BM_Prefetch(benchmark::State& state) {
+  const bool prefetch = state.range(0) != 0;
+  const int layer_idx = static_cast<int>(state.range(1));
+  const bool upd = state.range(2) != 0;
+  const auto p = topo::table1_params(topo::resnet50_table1()[layer_idx],
+                                     platform::bench_minibatch(1));
+  core::ConvOptions o;
+  o.prefetch = prefetch;
+  core::ConvLayer layer(p, o);
+  auto t = bench::make_tensors(layer);
+  for (auto _ : state) {
+    if (upd)
+      layer.update(t.in, t.dout, t.dwt);
+    else
+      layer.forward(t.in, t.wt, t.out);
+    benchmark::DoNotOptimize(t.out.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(p.flops()) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(prefetch ? "pf-on" : "pf-off") +
+                 (upd ? " upd" : " fwd") + " layer" +
+                 std::to_string(layer_idx + 1));
+}
+
+BENCHMARK(BM_Prefetch)
+    ->ArgsProduct({{0, 1}, {12 /*3x3*/, 13 /*1x1*/}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

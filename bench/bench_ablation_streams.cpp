@@ -1,0 +1,34 @@
+// Ablation: kernel streams replay (Algorithm 5) vs the branchy loop driver
+// (Section II-H). Replay removes per-call boundary logic and supplies real
+// next-invocation prefetch pointers.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace xconv;
+
+static void BM_Streams(benchmark::State& state) {
+  const bool streams = state.range(0) != 0;
+  const int layer_idx = static_cast<int>(state.range(1));
+  const auto p = topo::table1_params(topo::resnet50_table1()[layer_idx],
+                                     platform::bench_minibatch(1));
+  core::ConvOptions o;
+  o.use_streams = streams;
+  core::ConvLayer layer(p, o);
+  auto t = bench::make_tensors(layer);
+  for (auto _ : state) {
+    layer.forward(t.in, t.wt, t.out);
+    benchmark::DoNotOptimize(t.out.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(p.flops()) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(streams ? "replay" : "branchy") + " layer" +
+                 std::to_string(layer_idx + 1));
+}
+
+BENCHMARK(BM_Streams)
+    ->ArgsProduct({{0, 1}, {3 /*3x3 56x56*/, 12 /*3x3 14x14*/, 13 /*1x1*/}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

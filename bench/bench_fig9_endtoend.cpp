@@ -1,0 +1,102 @@
+// Figure 9: end-to-end ResNet-50 training throughput — single node and
+// strong scaling to 16 nodes. Three parts:
+//   1. measured: GxM training img/s on this host (reduced image size by
+//      default so the bench completes quickly; XCONV_IMG=224 for full size),
+//   2. measured: in-process multi-node simulation (ranks as threads, real
+//      ring allreduce) at 1/2/4 ranks,
+//   3. projected: the paper's KNM/SKX clusters via the Omni-Path network
+//      model with allreduce overlapped into backprop — reproducing the ~90%
+//      parallel efficiency at 16 nodes and the paper's absolute numbers.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "gxm/trainer.hpp"
+#include "mlsl/netmodel.hpp"
+#include "mlsl/scaling.hpp"
+
+using namespace xconv;
+
+int main() {
+  const int mb = platform::bench_minibatch(2);
+  const int runs = platform::bench_runs(3);
+  int img = 56;
+  if (const char* v = std::getenv("XCONV_IMG")) img = std::atoi(v);
+  bench::print_header("Figure 9: end-to-end ResNet-50 training", mb, runs);
+
+  // --- measured single node (GxM) ---
+  const auto nl =
+      gxm::parse_topology(topo::resnet50_topology(mb, img, 100));
+  gxm::GraphOptions gopt;
+  gxm::Graph g(nl, gopt);
+  gxm::Solver solver;
+  solver.lr = 0.001f;
+  gxm::Trainer trainer(g, solver);
+  trainer.train(1);  // warm up (JIT + dryrun already done; touch memory)
+  const auto st = trainer.train(runs);
+  std::printf("[measured] GxM single node: ResNet-50 img=%d mb=%d: %.2f "
+              "img/s (loss %.3f)\n",
+              img, mb, st.images_per_second, st.last_loss);
+  const auto inf = trainer.inference(runs);
+  std::printf("[measured] GxM single node inference: %.2f img/s\n",
+              inf.images_per_second);
+
+  // --- measured in-process multi-node (ring allreduce) ---
+  const auto mini = gxm::parse_topology(topo::resnet_mini_topology(mb, 32, 8));
+  std::printf("\n[measured] in-process data-parallel (ResNet-mini, ranks as "
+              "threads, real ring allreduce):\n");
+  std::printf("  NOTE: ranks timeshare this machine's cores; aggregate "
+              "img/s stays ~flat when ranks > cores — the numbers verify "
+              "the synchronous-SGD mechanics, the projection below models "
+              "real clusters.\n");
+  double base = 0;
+  for (int ranks : {1, 2, 4}) {
+    mlsl::MultiNodeTrainer mt(mini, ranks, gopt);
+    mt.train(1, solver);
+    const auto ms = mt.train(runs, solver);
+    if (ranks == 1) base = ms.images_per_second;
+    std::printf("  ranks=%d: %8.1f img/s (vs 1-rank x%d: %.2f efficiency, "
+                "allreduce %zu B/rank)\n",
+                ranks, ms.images_per_second, ranks,
+                base > 0 ? ms.images_per_second / (base * ranks) : 0,
+                ms.allreduce_bytes_per_rank);
+  }
+
+  // --- projected paper clusters ---
+  std::printf("\n[projected] paper testbeds, ResNet-50 (25.5M params), "
+              "Omni-Path ring allreduce overlapped with backprop:\n");
+  struct Cluster {
+    const char* name;
+    double img_s;
+    int local_mb;
+    double penalty;
+    double paper16;
+  };
+  const Cluster clusters[] = {
+      // Paper: KNM single node 192 img/s (62 of 70 cores for compute);
+      // SKX dual-socket 136 img/s (52 of 56 cores). 16-node: 2430 / 1696.
+      {"KNM", 192.0, 70, 62.0 / 70.0, 2430.0},
+      {"SKX", 136.0, 28, 52.0 / 56.0, 1696.0},
+  };
+  for (const auto& c : clusters) {
+    mlsl::ScalingConfig cfg;
+    cfg.single_node_img_s = c.img_s;
+    cfg.local_minibatch = c.local_mb;
+    cfg.gradient_bytes = 25557032ull * 4;
+    cfg.comm_core_penalty = c.penalty;
+    std::printf("  %s (paper single node: %.0f img/s):\n", c.name, c.img_s);
+    for (int k : {1, 2, 4, 8, 16}) {
+      const auto pt = mlsl::project_scaling(cfg, k);
+      std::printf("    nodes=%2d  %8.1f img/s  eff=%5.1f%%  allreduce "
+                  "%.2f ms (exposed %.2f ms)%s\n",
+                  k, pt.images_per_second, 100 * pt.parallel_efficiency,
+                  pt.allreduce_ms, pt.exposed_comm_ms,
+                  k == 16 ? "  <- paper measured" : "");
+    }
+    std::printf("    paper @16 nodes: %.0f img/s (~90%% efficiency)\n",
+                c.paper16);
+  }
+  std::printf("\nPaper single-node references: KNM 192 img/s, SKX 2S 136 "
+              "img/s, P100 219 img/s, TF+MKL-DNN 90 img/s; Inception-v3: "
+              "KNM 98, SKX 84, TF+cuDNN 142.\n");
+  return 0;
+}

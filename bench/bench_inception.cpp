@@ -1,0 +1,41 @@
+// Inception-v3 topology averages (paper Section III-A/B text): average
+// fwd/bwd/upd GFLOPS across all convolution layers, weighted by each shape's
+// occurrence count. Paper reference (SKX, this work): 2833 / 2695 / 2621
+// GFLOPS vs MKL-DNN 2758 / 2434 / 2301; (KNM): 6647 / 5666 / 4584 vs
+// 7374 / 5953 / 4654.
+#include "bench_common.hpp"
+#include "topo/inception_v3.hpp"
+
+using namespace xconv;
+using namespace xconv::bench;
+
+int main() {
+  const int mb = platform::bench_minibatch(1);
+  const int runs = platform::bench_runs(2);
+  print_header("Inception-v3 conv layers: weighted average GFLOPS", mb, runs);
+  std::printf("%-14s %12s %3s | %9s %9s %9s\n", "block", "shape", "cnt",
+              "fwd", "bwd", "upd");
+
+  double wf = 0, wb = 0, wu = 0;
+  int total = 0;
+  for (const auto& l : topo::inception_v3_convs()) {
+    const auto p = topo::inception_params(l, mb);
+    core::ConvLayer layer(p);
+    auto t = make_tensors(layer);
+    const double gf = fwd_gflops(layer, t, runs);
+    const double gb = bwd_gflops(layer, t, runs);
+    const double gu = upd_gflops(layer, t, runs);
+    wf += gf * l.count;
+    wb += gb * l.count;
+    wu += gu * l.count;
+    total += l.count;
+    std::printf("%-14s %4dx%-4d %dx%d %3d | %9.1f %9.1f %9.1f\n", l.block,
+                l.C, l.K, l.R, l.S, l.count, gf, gb, gu);
+  }
+  std::printf("\nweighted averages over %d convolutions: fwd %.1f  bwd %.1f "
+              " upd %.1f GFLOPS\n",
+              total, wf / total, wb / total, wu / total);
+  std::printf("Paper (SKX socket, this work): 2833 / 2695 / 2621 GFLOPS; "
+              "expected shape here: fwd >= bwd >= upd.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table I: the 20 ResNet-50 layer specifications the paper benchmarks, with
+// derived output dims and FLOP counts at the configured minibatch.
+#include "bench_common.hpp"
+
+using namespace xconv;
+
+int main() {
+  const int mb = platform::bench_minibatch(1);
+  std::printf("Table I: ResNet-50 layer specifications (paper: minibatch 28 "
+              "on SKX, 70 on KNM; this run: %d)\n\n",
+              mb);
+  std::printf("%3s %5s %5s %5s %5s %2s %2s %4s | %5s %5s %10s\n", "ID", "C",
+              "K", "H", "W", "R", "S", "str", "P", "Q", "GFLOP");
+  for (const auto& l : topo::resnet50_table1()) {
+    const auto p = topo::table1_params(l, mb);
+    std::printf("%3d %5d %5d %5d %5d %2d %2d %4d | %5d %5d %10.3f\n", l.id,
+                l.C, l.K, l.H, l.W, l.R, l.S, l.stride, p.P(), p.Q(),
+                static_cast<double>(p.flops()) / 1e9);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Section III text: "All the numbers presented are averages over 20 runs and
+// the run-to-run variation was determined at ~3%". This bench measures the
+// same statistic (coefficient of variation over 20 runs) for a mid-size
+// layer in all three passes.
+#include "bench_common.hpp"
+
+using namespace xconv;
+using namespace xconv::bench;
+
+int main() {
+  const int mb = platform::bench_minibatch(1);
+  print_header("Run-to-run variation over 20 runs (paper: ~3%)", mb, 20);
+  const auto p = topo::table1_params(topo::resnet50_table1()[12], mb);
+  core::ConvLayer layer(p);
+  auto t = make_tensors(layer);
+
+  const auto fwd = platform::time_runs(
+      [&] { layer.forward(t.in, t.wt, t.out); }, 20, 2);
+  const auto bwd = platform::time_runs(
+      [&] { layer.backward(t.dout, t.wt, t.din); }, 20, 2);
+  const auto upd = platform::time_runs(
+      [&] { layer.update(t.in, t.dout, t.dwt); }, 20, 2);
+
+  std::printf("layer 13 (%s)\n", p.to_string().c_str());
+  std::printf("fwd: mean %.3f ms  cv %.2f%%  (%.1f GFLOPS)\n",
+              fwd.mean_s * 1e3, 100 * fwd.cv(), fwd.gflops(p.flops()));
+  std::printf("bwd: mean %.3f ms  cv %.2f%%  (%.1f GFLOPS)\n",
+              bwd.mean_s * 1e3, 100 * bwd.cv(), bwd.gflops(p.flops()));
+  std::printf("upd: mean %.3f ms  cv %.2f%%  (%.1f GFLOPS)\n",
+              upd.mean_s * 1e3, 100 * upd.cv(), upd.gflops(p.flops()));
+  return 0;
+}

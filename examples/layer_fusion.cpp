@@ -1,0 +1,83 @@
+// Layer fusion walkthrough (paper Sections II-G/II-H): the same convolution
+// run (a) unfused with separate bias and ReLU sweeps, (b) with the ReLU
+// folded into the microkernel's store path, and (c) with bias+ReLU as an
+// APPLY record executed while each output block is hot in cache. Prints the
+// per-thread kernel-stream structure (CONV-STREAK / APPLY segments of
+// Figure 2) and the throughput of each variant.
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/conv_layer.hpp"
+#include "platform/timer.hpp"
+#include "tensor/transform.hpp"
+#include "topo/resnet50.hpp"
+
+using namespace xconv;
+
+namespace {
+void fill(tensor::ActTensor& t, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = d(rng);
+  t.zero_halo();
+}
+}  // namespace
+
+int main() {
+  const auto p = topo::table1_params(topo::resnet50_table1()[8], 2);
+  std::printf("layer: %s\n\n", p.to_string().c_str());
+
+  std::vector<double> gflops;
+  for (auto fuse : {core::FusedOp::none, core::FusedOp::relu,
+                    core::FusedOp::bias_relu}) {
+    core::ConvOptions o;
+    o.fuse = fuse;
+    core::ConvLayer layer(p, o);
+    auto in = layer.make_input();
+    auto wt = layer.make_weights();
+    auto out = layer.make_output();
+    fill(in, 1);
+    std::mt19937 rng(2);
+    std::uniform_real_distribution<float> d(-0.1f, 0.1f);
+    for (std::size_t i = 0; i < wt.size(); ++i) wt.data()[i] = d(rng);
+    std::vector<float> bias(layer.kb() * layer.vlen(), 0.05f);
+    core::FusionArgs args;
+    args.bias = bias.data();
+
+    auto st = platform::time_runs(
+        [&] {
+          layer.forward(in, wt, out, args);
+          if (fuse == core::FusedOp::none) {
+            // What an unfused framework does: two more passes over out.
+            float* o2 = out.data();
+            for (std::size_t i = 0; i < out.size(); ++i) o2[i] += 0.05f;
+            for (std::size_t i = 0; i < out.size(); ++i)
+              o2[i] = o2[i] > 0 ? o2[i] : 0;
+          }
+        },
+        5, 1);
+    std::printf("%-28s %8.1f GFLOPS (conv flops only)\n",
+                core::fused_op_name(fuse), st.gflops(p.flops()));
+    gflops.push_back(st.gflops(p.flops()));
+  }
+  if (gflops[2] > 0 && gflops[0] > 0)
+    std::printf("\nfused bias+relu vs separate passes: %.2fx\n"
+                "(fusion pays when the output tensor exceeds the shared "
+                "cache and memory bandwidth is contended across cores — the "
+                "paper's multicore setting; on a single core with "
+                "cache-resident working sets the APPLY dispatch overhead "
+                "can dominate instead)\n",
+                gflops[2] / gflops[0]);
+
+  // Show the kernel-stream encoding for a fused layer (Figure 2).
+  core::ConvOptions o;
+  o.fuse = core::FusedOp::bias_relu;
+  o.threads = 1;
+  core::ConvLayer layer(p, o);
+  std::printf("\nstream structure (thread 0): %zu conv calls in segments: ",
+              layer.fwd_stream_convs());
+  // Segments are internal; describe() summarizes the stream statistics.
+  std::printf("%s\n", layer.describe().c_str());
+  return 0;
+}

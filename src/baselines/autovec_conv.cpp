@@ -1,0 +1,12 @@
+// The "autovec" comparator is the GemmDirectConv loop nest with the inner
+// small GEMM spelled out as three nested loops (GemmEngine::ref); this TU
+// provides the named convenience constructor the benches use.
+#include "baselines/gemm_conv.hpp"
+
+namespace xconv::baselines {
+
+GemmDirectConv make_autovec_conv(const core::ConvParams& p, int vlen) {
+  return GemmDirectConv(p, GemmEngine::ref, vlen);
+}
+
+}  // namespace xconv::baselines

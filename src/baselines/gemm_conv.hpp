@@ -1,0 +1,42 @@
+// Small-GEMM direct convolution comparators (paper Section III):
+//   * "libxsmm" — the blocked direct-convolution loop nest with a tuned small
+//     GEMM as the innermost kernel (gemm_blocked here),
+//   * "blas"    — the same loops calling a *generic* GEMM that packs its
+//     operands first, modelling the per-call overheads statically-tuned BLAS
+//     incurs on tall-and-skinny shapes (paper ref [14]),
+//   * "autovec" — the small GEMM spelled out as three nested loops, relying
+//     on compiler auto-vectorization only (gemm_ref).
+// All three run on the blocked SIMD layouts, so the comparison isolates the
+// inner-kernel strategy, exactly as the paper's Figure 4 does.
+#pragma once
+
+#include "core/conv_params.hpp"
+#include "tensor/layout.hpp"
+
+namespace xconv::baselines {
+
+enum class GemmEngine { blocked /*libxsmm*/, packed /*blas*/, ref /*autovec*/ };
+
+const char* gemm_engine_name(GemmEngine e);
+
+class GemmDirectConv {
+ public:
+  GemmDirectConv(const core::ConvParams& p, GemmEngine engine, int vlen = 16);
+
+  /// Forward on blocked tensors (same shapes as ConvLayer::make_*).
+  void forward(const tensor::ActTensor& in, const tensor::WtTensor& wt,
+               tensor::ActTensor& out) const;
+
+  GemmEngine engine() const { return engine_; }
+
+ private:
+  core::ConvParams p_;
+  GemmEngine engine_;
+  int vlen_;
+  int cb_, kb_;
+};
+
+/// Convenience: the "autovec" comparator (GemmEngine::ref).
+GemmDirectConv make_autovec_conv(const core::ConvParams& p, int vlen = 16);
+
+}  // namespace xconv::baselines

@@ -1,0 +1,69 @@
+#include "baselines/im2col_conv.hpp"
+
+#include <cstring>
+
+#include "gemm/gemm.hpp"
+
+namespace xconv::baselines {
+
+Im2colConv::Im2colConv(const core::ConvParams& p) : p_(p) {
+  p_.validate();
+  const std::size_t pq = static_cast<std::size_t>(p_.P()) * p_.Q();
+  const std::size_t crs = static_cast<std::size_t>(p_.C) * p_.R * p_.S;
+  col_.resize(pq * crs);
+  wt_t_.resize(crs * p_.K);
+  out_t_.resize(pq * p_.K);
+}
+
+std::size_t Im2colConv::scratch_bytes() const {
+  return (col_.size() + wt_t_.size() + out_t_.size()) * sizeof(float);
+}
+
+void Im2colConv::forward(const float* in, const float* wt, float* out) {
+  const int P = p_.P(), Q = p_.Q();
+  const int crs = p_.C * p_.R * p_.S;
+
+  // Weight transpose KCRS -> [CRS][K] (done once per call; part of the
+  // method's data-transformation cost).
+  for (int k = 0; k < p_.K; ++k)
+    for (int e = 0; e < crs; ++e)
+      wt_t_[static_cast<std::size_t>(e) * p_.K + k] =
+          wt[static_cast<std::size_t>(k) * crs + e];
+
+  for (int n = 0; n < p_.N; ++n) {
+    const float* img =
+        in + static_cast<std::size_t>(n) * p_.C * p_.H * p_.W;
+    // Gather: col[oj*Q+oi][c*R*S + r*S + s] = I[c][oj*sh+r-ph][oi*sw+s-pw].
+    for (int oj = 0; oj < P; ++oj)
+      for (int oi = 0; oi < Q; ++oi) {
+        float* row = col_.data() +
+                     (static_cast<std::size_t>(oj) * Q + oi) * crs;
+        std::size_t e = 0;
+        for (int c = 0; c < p_.C; ++c)
+          for (int r = 0; r < p_.R; ++r) {
+            const int ij = p_.stride_h * oj + r - p_.pad_h;
+            for (int s = 0; s < p_.S; ++s, ++e) {
+              const int ii = p_.stride_w * oi + s - p_.pad_w;
+              row[e] = (ij < 0 || ij >= p_.H || ii < 0 || ii >= p_.W)
+                           ? 0.0f
+                           : img[(static_cast<std::size_t>(c) * p_.H + ij) *
+                                     p_.W +
+                                 ii];
+            }
+          }
+      }
+
+    // GEMM: out_t[PQ][K] = col[PQ][CRS] * wt_t[CRS][K].
+    gemm::gemm_blocked_b0(p_.K, P * Q, crs, wt_t_.data(), p_.K, col_.data(),
+                          crs, out_t_.data(), p_.K);
+
+    // Scatter back to NCHW.
+    float* o = out + static_cast<std::size_t>(n) * p_.K * P * Q;
+    for (int k = 0; k < p_.K; ++k)
+      for (int px = 0; px < P * Q; ++px)
+        o[static_cast<std::size_t>(k) * P * Q + px] =
+            out_t_[static_cast<std::size_t>(px) * p_.K + k];
+  }
+}
+
+}  // namespace xconv::baselines

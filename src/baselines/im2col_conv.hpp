@@ -1,0 +1,31 @@
+// The im2col + GEMM comparator (paper Section III "im2col"): flatten input
+// patches into a column matrix and run one large matrix multiplication per
+// image — the Caffe-popularized method whose memory-footprint and bandwidth
+// overheads motivate direct convolution (Section I).
+#pragma once
+
+#include "core/conv_params.hpp"
+#include "tensor/buffer.hpp"
+
+namespace xconv::baselines {
+
+class Im2colConv {
+ public:
+  explicit Im2colConv(const core::ConvParams& p);
+
+  /// Forward on dense NCHW in / KCRS wt / NCHW out (out overwritten).
+  /// Internally: col[PQ][CRS] gather, wtT[CRS][K] transpose, GEMM, scatter —
+  /// all counted in the runtime, as they are part of the method.
+  void forward(const float* in, const float* wt, float* out);
+
+  /// Scratch footprint in bytes (the paper's "memory footprint overhead").
+  std::size_t scratch_bytes() const;
+
+ private:
+  core::ConvParams p_;
+  tensor::AlignedBuffer<float> col_;   // [P*Q][C*R*S]
+  tensor::AlignedBuffer<float> wt_t_;  // [C*R*S][K]
+  tensor::AlignedBuffer<float> out_t_; // [P*Q][K]
+};
+
+}  // namespace xconv::baselines

@@ -1,0 +1,83 @@
+#include "baselines/naive_conv.hpp"
+
+#include <cstring>
+
+namespace xconv::baselines {
+
+namespace {
+inline std::size_t idx4(int a, int b, int c, int d, int B, int C, int D) {
+  return ((static_cast<std::size_t>(a) * B + b) * C + c) * D + d;
+}
+}  // namespace
+
+void naive_forward(const core::ConvParams& p, const float* in,
+                   const float* wt, float* out) {
+  const int P = p.P(), Q = p.Q();
+  std::memset(out, 0, sizeof(float) * p.output_elems());
+  for (int n = 0; n < p.N; ++n)
+    for (int k = 0; k < p.K; ++k)
+      for (int c = 0; c < p.C; ++c)
+        for (int oj = 0; oj < P; ++oj)
+          for (int oi = 0; oi < Q; ++oi) {
+            float acc = 0.0f;
+            for (int r = 0; r < p.R; ++r) {
+              const int ij = p.stride_h * oj + r - p.pad_h;
+              if (ij < 0 || ij >= p.H) continue;
+              for (int s = 0; s < p.S; ++s) {
+                const int ii = p.stride_w * oi + s - p.pad_w;
+                if (ii < 0 || ii >= p.W) continue;
+                acc += in[idx4(n, c, ij, ii, p.C, p.H, p.W)] *
+                       wt[idx4(k, c, r, s, p.C, p.R, p.S)];
+              }
+            }
+            out[idx4(n, k, oj, oi, p.K, P, Q)] += acc;
+          }
+}
+
+void naive_backward(const core::ConvParams& p, const float* dout,
+                    const float* wt, float* din) {
+  const int P = p.P(), Q = p.Q();
+  std::memset(din, 0, sizeof(float) * p.input_elems());
+  for (int n = 0; n < p.N; ++n)
+    for (int k = 0; k < p.K; ++k)
+      for (int c = 0; c < p.C; ++c)
+        for (int oj = 0; oj < P; ++oj)
+          for (int oi = 0; oi < Q; ++oi) {
+            const float g = dout[idx4(n, k, oj, oi, p.K, P, Q)];
+            for (int r = 0; r < p.R; ++r) {
+              const int ij = p.stride_h * oj + r - p.pad_h;
+              if (ij < 0 || ij >= p.H) continue;
+              for (int s = 0; s < p.S; ++s) {
+                const int ii = p.stride_w * oi + s - p.pad_w;
+                if (ii < 0 || ii >= p.W) continue;
+                din[idx4(n, c, ij, ii, p.C, p.H, p.W)] +=
+                    g * wt[idx4(k, c, r, s, p.C, p.R, p.S)];
+              }
+            }
+          }
+}
+
+void naive_update(const core::ConvParams& p, const float* in,
+                  const float* dout, float* dwt) {
+  const int P = p.P(), Q = p.Q();
+  std::memset(dwt, 0, sizeof(float) * p.weight_elems());
+  for (int n = 0; n < p.N; ++n)
+    for (int k = 0; k < p.K; ++k)
+      for (int c = 0; c < p.C; ++c)
+        for (int oj = 0; oj < P; ++oj)
+          for (int oi = 0; oi < Q; ++oi) {
+            const float g = dout[idx4(n, k, oj, oi, p.K, P, Q)];
+            for (int r = 0; r < p.R; ++r) {
+              const int ij = p.stride_h * oj + r - p.pad_h;
+              if (ij < 0 || ij >= p.H) continue;
+              for (int s = 0; s < p.S; ++s) {
+                const int ii = p.stride_w * oi + s - p.pad_w;
+                if (ii < 0 || ii >= p.W) continue;
+                dwt[idx4(k, c, r, s, p.C, p.R, p.S)] +=
+                    g * in[idx4(n, c, ij, ii, p.C, p.H, p.W)];
+              }
+            }
+          }
+}
+
+}  // namespace xconv::baselines

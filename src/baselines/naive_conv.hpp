@@ -1,0 +1,24 @@
+// Naive reference convolutions on dense NCHW/KCRS arrays — the paper's
+// Algorithms 1 (forward), 6 (backward) and 8 (weight update) verbatim.
+// These are the correctness oracle for every optimized path and the
+// "reference loop nest" the paper's artifact compares the JIT against.
+#pragma once
+
+#include "core/conv_params.hpp"
+
+namespace xconv::baselines {
+
+/// O[n][k][oj][oi] = sum_{c,r,s} I[n][c][oj*sh+r-ph][oi*sw+s-pw] * W[k][c][r][s]
+/// (out overwritten; out-of-bounds input reads contribute zero).
+void naive_forward(const core::ConvParams& p, const float* in,
+                   const float* wt, float* out);
+
+/// dI = conv_bwd(dO, W) per Algorithm 6 (din overwritten).
+void naive_backward(const core::ConvParams& p, const float* dout,
+                    const float* wt, float* din);
+
+/// dW = sum over minibatch/pixels per Algorithm 8 (dwt overwritten).
+void naive_update(const core::ConvParams& p, const float* in,
+                  const float* dout, float* dwt);
+
+}  // namespace xconv::baselines

@@ -1,0 +1,278 @@
+// Backward propagation (paper Section II-I).
+//
+// Three paths, selected at setup:
+//   1. stride == 1      — duality: transform the weights (transpose channel
+//      blocks, flip taps) and run the *forward* machinery of a dual layer
+//      whose input is dO (with the R-1-pad halo make_output() provides) and
+//      whose output is dI. This literally reuses the forward code generator,
+//      streams, fusion and parallelization ("duality for backward propagation
+//      to reduce number of code generators").
+//   2. R == S == 1, stride > 1, pad == 0 — duality with a fractional stride:
+//      a dense 1x1 forward convolution over dO scattered into dI with
+//      out_col_stride = stride*VLEN (Section II-I scenario 2).
+//   3. everything else  — Algorithm 7: small GEMMs
+//      GEMM(W'[cb][kb][R-1-r][S-1-s], dO[n][kb][oj][:], dI[n][cb][ij+r][ii+s])
+//      with M = K = VLEN and N = Q, accumulating into a zeroed dI.
+#include <omp.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/conv_layer.hpp"
+#include "gemm/gemm.hpp"
+#include "jit/gemm_kernel_gen.hpp"
+#include "tensor/transform.hpp"
+
+namespace xconv::core {
+
+namespace {
+int pick_rb_bwd(int dim, int cap) {
+  if (dim <= cap) return dim;
+  int best = std::min(dim, cap), best_score = -1;
+  for (int rb = std::min(dim, cap); rb >= 4; --rb) {
+    const int score = (dim % rb == 0 ? 1000 : 0) + rb;
+    if (score > best_score) {
+      best_score = score;
+      best = rb;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+struct ConvLayer::BwdGemmPlan {
+  int qc = 0;      ///< main chunk of Q pixels per GEMM call
+  int q_rem = 0;   ///< remainder chunk
+  // JIT kernels (null when the backend is not JIT-capable; the compiled
+  // gemm_blocked path is used instead).
+  std::unique_ptr<jit::GemmKernel> main, rem;
+  int ldc = 0;
+};
+
+// Out-of-line: BwdGemmPlan must be complete where the destructor is emitted.
+ConvLayer::~ConvLayer() = default;
+
+void ConvLayer::setup_backward() {
+  const ConvParams& p = params_;
+  bwd_wt_ = tensor::WtTensor(cb_, kb_, p.R, p.S, vlen_);
+
+  const bool jit_capable = opt_.isa != platform::Isa::scalar &&
+                           opt_.backend != kernels::BackendPref::scalar &&
+                           opt_.backend != kernels::BackendPref::compiled;
+
+  if (p.stride_h == 1 && p.stride_w == 1) {
+    bwd_algo_ = BwdAlgo::duality_stride1;
+    ConvParams dual;
+    dual.N = p.N;
+    dual.C = p.K;
+    dual.K = p.C;
+    dual.H = p.P();
+    dual.W = p.Q();
+    dual.R = p.R;
+    dual.S = p.S;
+    dual.stride_h = dual.stride_w = 1;
+    dual.pad_h = p.R - 1 - p.pad_h;
+    dual.pad_w = p.S - 1 - p.pad_w;
+    if (dual.pad_h < 0 || dual.pad_w < 0)
+      throw std::invalid_argument(
+          "ConvLayer: pad > R-1 unsupported by the duality transform");
+    ConvOptions dopt = opt_;
+    dopt.fuse = FusedOp::none;
+    dopt.rbp = dopt.rbq = 0;  // re-derive blocking for the dual shape
+    dopt.threads = threads_;
+    dopt.fwd_only = true;
+    // The dual layer's input is this layer's output tensor and its output is
+    // this layer's input tensor: inherit their physical halos.
+    dopt.in_halo_h = out_pad_h_;
+    dopt.in_halo_w = out_pad_w_;
+    dopt.out_halo_h = in_halo_h_;
+    dopt.out_halo_w = in_halo_w_;
+    bwd_layer_ = std::make_unique<ConvLayer>(dual, dopt);
+    return;
+  }
+
+  if (p.R == 1 && p.S == 1 && p.pad_h == 0 && p.pad_w == 0) {
+    bwd_algo_ = BwdAlgo::duality_1x1_strided;
+    auto& reg = kernels::KernelRegistry::instance();
+    bwd1x1_rbq_ = pick_rb_bwd(p.Q(), jit::ConvKernelDesc::max_accumulators(
+                                         opt_.isa == platform::Isa::scalar
+                                             ? platform::Isa::avx512
+                                             : opt_.isa));
+    bwd1x1_qfull_ = p.Q() / bwd1x1_rbq_;
+    bwd1x1_qrem_ = p.Q() % bwd1x1_rbq_;
+    bwd1x1_variants_.clear();
+    for (int qe = 0; qe < 2; ++qe) {
+      if (qe == 1 && bwd1x1_qrem_ == 0) continue;
+      jit::ConvKernelDesc d;
+      d.isa = opt_.isa == platform::Isa::scalar ? platform::Isa::avx512
+                                                : opt_.isa;
+      d.vlen = vlen_;
+      d.rbp = 1;
+      d.rbq = qe ? bwd1x1_qrem_ : bwd1x1_rbq_;
+      d.r = d.s = 1;
+      d.stride_h = d.stride_w = 1;       // dense read over dO
+      d.in_row_stride = out_row_stride_;  // dO geometry
+      d.out_row_stride = params_.stride_h * in_row_stride_;  // scatter rows
+      d.out_col_stride = params_.stride_w * vlen_;           // scatter cols
+      d.c_iters = vlen_;
+      if (kb_ > 1) {
+        d.c_blocks = kb_;
+        d.in_cb_stride = static_cast<int>(out_kb_stride_);
+        d.wt_cb_stride = vlen_ * vlen_;
+      }
+      d.beta0 = true;
+      d.prefetch = opt_.prefetch;
+      bwd1x1_variants_.push_back(reg.conv(d, opt_.backend));
+    }
+    return;
+  }
+
+  bwd_algo_ = BwdAlgo::gemm_fallback;
+  bwd_gemm_ = std::make_shared<BwdGemmPlan>();
+  const int max_n = 28;
+  bwd_gemm_->qc = pick_rb_bwd(p.Q(), max_n);
+  bwd_gemm_->q_rem = p.Q() % bwd_gemm_->qc;
+  bwd_gemm_->ldc = p.stride_w * vlen_;
+  if (jit_capable && vlen_ == platform::vlen_fp32(opt_.isa)) {
+    jit::GemmKernelDesc g;
+    g.isa = opt_.isa;
+    g.vlen = vlen_;
+    g.k = vlen_;
+    g.lda = vlen_;
+    g.ldb = vlen_;
+    g.ldc = bwd_gemm_->ldc;
+    g.beta0 = false;
+    g.n = bwd_gemm_->qc;
+    bwd_gemm_->main = jit::generate_gemm_kernel(g);
+    if (bwd_gemm_->q_rem > 0) {
+      g.n = bwd_gemm_->q_rem;
+      bwd_gemm_->rem = jit::generate_gemm_kernel(g);
+    }
+  }
+}
+
+void ConvLayer::backward(const tensor::ActTensor& grad_out,
+                         const tensor::WtTensor& wt,
+                         tensor::ActTensor& grad_in) {
+  const ConvParams& p = params_;
+  if (grad_out.n() != p.N || grad_out.channels() != p.K ||
+      grad_out.h() != p.P() || grad_out.w() != p.Q() ||
+      grad_out.pad_h() != out_pad_h_ || grad_out.pad_w() != out_pad_w_)
+    throw std::invalid_argument(
+        "ConvLayer::backward: grad_out geometry mismatch (use make_output)");
+  if (grad_in.n() != p.N || grad_in.channels() != p.C ||
+      grad_in.h() != p.H || grad_in.w() != p.W ||
+      grad_in.pad_h() != in_halo_h_ || grad_in.pad_w() != in_halo_w_)
+    throw std::invalid_argument(
+        "ConvLayer::backward: grad_in geometry mismatch (use make_input)");
+
+  // Weights change every training iteration: re-run the duality transform.
+  tensor::blocked_fwd_to_bwd(wt, bwd_wt_);
+
+  switch (bwd_algo_) {
+    case BwdAlgo::duality_stride1:
+      bwd_layer_->forward(grad_out, bwd_wt_, grad_in);
+      return;
+    case BwdAlgo::duality_1x1_strided:
+      backward_1x1_strided(grad_out, grad_in);
+      return;
+    case BwdAlgo::gemm_fallback:
+      backward_gemm(grad_out, grad_in);
+      return;
+  }
+}
+
+void ConvLayer::backward_1x1_strided(const tensor::ActTensor& grad_out,
+                                     tensor::ActTensor& grad_in) {
+  // Covered pixels (multiples of the stride) are overwritten by beta0
+  // kernels; every other dI pixel is zero.
+  grad_in.zero();
+  const float* dout = grad_out.data();
+  const float* wtb = bwd_wt_.data();
+  float* din = grad_in.data();
+  const int n_qb = bwd1x1_qfull_ + (bwd1x1_qrem_ > 0 ? 1 : 0);
+  // One work item per (n, cb, oj, q-block); every item writes disjoint dI
+  // pixels (rbp = 1, distinct rows/columns).
+  const std::int64_t total =
+      static_cast<std::int64_t>(params_.N) * cb_ * params_.P() * n_qb;
+
+#pragma omp parallel for num_threads(threads_) schedule(static)
+  for (std::int64_t it = 0; it < total; ++it) {
+    std::int64_t rest = it;
+    const int qb = static_cast<int>(rest % n_qb);
+    rest /= n_qb;
+    const int oj = static_cast<int>(rest % params_.P());
+    rest /= params_.P();
+    const int cbi = static_cast<int>(rest % cb_);
+    const int n = static_cast<int>(rest / cb_);
+
+    const bool q_edge = (bwd1x1_qrem_ > 0 && qb == bwd1x1_qfull_);
+    const int oi0 = std::min(qb, bwd1x1_qfull_) * bwd1x1_rbq_;
+    const std::int64_t dout_off =
+        n * out_n_stride_ +
+        static_cast<std::int64_t>(oj + out_pad_h_) * out_row_stride_ +
+        static_cast<std::int64_t>(oi0 + out_pad_w_) * vlen_;
+    // bwd_wt_ layout is [Cb][Kb][1][1][k][c]: outer stride spans Kb blocks.
+    const std::int64_t wt_off =
+        static_cast<std::int64_t>(cbi) * bwd_wt_.stride_outer();
+    // 1x1 layers have pad == 0; the physical halo (if any consumer raised
+    // it) is handled by the logical offset() accessor.
+    const std::int64_t din_off = grad_in.offset(
+        n, cbi, oj * params_.stride_h, oi0 * params_.stride_w);
+
+    const auto* k = bwd1x1_variants_[q_edge ? 1 : 0];
+    k->run(dout + dout_off, wtb + wt_off, din + din_off, dout + dout_off,
+           wtb + wt_off, din + din_off);
+  }
+}
+
+void ConvLayer::backward_gemm(const tensor::ActTensor& grad_out,
+                              tensor::ActTensor& grad_in) {
+  grad_in.zero();
+  const ConvParams& p = params_;
+  const BwdGemmPlan& plan = *bwd_gemm_;
+  const int n_chunks =
+      p.Q() / plan.qc + (plan.q_rem > 0 ? 1 : 0);
+
+  // dI rows overlap across oj when stride < R, so parallelism stays at
+  // (n, cb) granularity (each item owns a full dI feature-map plane).
+  const std::int64_t total = static_cast<std::int64_t>(p.N) * cb_;
+#pragma omp parallel for num_threads(threads_) schedule(static)
+  for (std::int64_t it = 0; it < total; ++it) {
+    const int cbi = static_cast<int>(it % cb_);
+    const int n = static_cast<int>(it / cb_);
+    for (int kbi = 0; kbi < kb_; ++kbi) {
+      for (int oj = 0; oj < p.P(); ++oj) {
+        const int ij = oj * p.stride_h;
+        for (int r = 0; r < p.R; ++r) {
+          for (int s = 0; s < p.S; ++s) {
+            const float* a =
+                bwd_wt_.at(cbi, kbi, p.R - 1 - r, p.S - 1 - s);
+            for (int ch = 0; ch < n_chunks; ++ch) {
+              const int oi0 = ch * plan.qc;
+              const bool is_rem =
+                  (plan.q_rem > 0 && ch == n_chunks - 1);
+              const int rows = is_rem ? plan.q_rem : plan.qc;
+              const float* b = grad_out.at(n, kbi, oj, oi0);
+              float* c = grad_in.at_padded(
+                  n, cbi, ij + r + in_shift_h_,
+                  oi0 * p.stride_w + s + in_shift_w_);
+              if (plan.main != nullptr) {
+                const auto& k = is_rem ? *plan.rem : *plan.main;
+                k(b, a, c);
+              } else {
+                gemm::gemm_blocked(vlen_, rows, vlen_, a, vlen_, b, vlen_, c,
+                                   plan.ldc);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  // Gradients that fell into the padding halo are discarded.
+  grad_in.zero_halo();
+}
+
+}  // namespace xconv::core

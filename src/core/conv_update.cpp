@@ -1,0 +1,254 @@
+// Weight-gradient update (paper Section II-J, Algorithm 9).
+//
+// The microkernel accumulates one VLEN x VLEN dW block over a BP x BQ pixel
+// patch; the driver loops (n, kb, cb, r, s, pixel blocks) and chooses one of
+// three parallelization strategies at setup:
+//   * task      — parallelize over the R*S*Kb*Cb independent dW blocks; one
+//                 shared dW tensor, every thread streams all N activations.
+//   * minibatch — parallelize over N with per-thread dW copies, followed by
+//                 a parallel sum-reduction of the copies.
+//   * hybrid    — thread groups: minibatch across groups (one dW copy per
+//                 group), task-parallel within a group.
+// The dryrun-time decision models the bandwidth trade-off the paper derives
+// (activation re-reads vs 2T extra dW volumes); see pick_upd_strategy().
+#include <omp.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/conv_layer.hpp"
+
+namespace xconv::core {
+
+namespace {
+int pick_block(int dim, int cap) {
+  if (dim <= cap) return dim;
+  int best = std::min(dim, cap), best_score = -1;
+  for (int b = std::min(dim, cap); b >= 2; --b) {
+    const int score = (dim % b == 0 ? 1000 : 0) + b;
+    if (score > best_score) {
+      best_score = score;
+      best = b;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+void ConvLayer::setup_update() {
+  const ConvParams& p = params_;
+  // Pixel blocking: BP = P, BQ = Q maximizes dW register reuse but may spill
+  // the cache for large spatial dims (Section II-J); cap the patch size.
+  upd_bq_ = opt_.upd_bq > 0 ? opt_.upd_bq : pick_block(p.Q(), 32);
+  upd_bp_ = opt_.upd_bp > 0 ? opt_.upd_bp : pick_block(p.P(), 8);
+  upd_qb_full_ = p.Q() / upd_bq_;
+  upd_qb_rem_ = p.Q() % upd_bq_;
+  upd_pb_full_ = p.P() / upd_bp_;
+  upd_pb_rem_ = p.P() % upd_bp_;
+
+  auto& reg = kernels::KernelRegistry::instance();
+  upd_variants_.clear();
+  upd_vmap_.fill(-1);
+  for (int pe = 0; pe < 2; ++pe) {
+    const int bp = pe ? upd_pb_rem_ : upd_bp_;
+    if (bp == 0) continue;
+    for (int qe = 0; qe < 2; ++qe) {
+      const int bq = qe ? upd_qb_rem_ : upd_bq_;
+      if (bq == 0) continue;
+      for (int b0 = 0; b0 < 2; ++b0) {
+        jit::UpdKernelDesc d;
+        d.isa = opt_.isa == platform::Isa::scalar ? platform::Isa::avx512
+                                                  : opt_.isa;
+        d.vlen = vlen_;
+        d.bp = bp;
+        d.bq = bq;
+        d.stride_h = p.stride_h;
+        d.stride_w = p.stride_w;
+        d.in_row_stride = in_row_stride_;
+        d.out_row_stride = out_row_stride_;
+        d.beta0 = (b0 == 1);
+        d.prefetch = opt_.prefetch;
+        upd_variants_.push_back(reg.upd(d, opt_.backend));
+        upd_vmap_[(pe * 2 + qe) * 2 + b0] =
+            static_cast<int>(upd_variants_.size() - 1);
+      }
+    }
+  }
+
+  upd_strategy_ = opt_.upd_strategy;
+  if (upd_strategy_ == UpdStrategy::auto_pick) {
+    const std::int64_t act_traffic =
+        static_cast<std::int64_t>(p.input_elems()) +
+        static_cast<std::int64_t>(p.output_elems());
+    upd_strategy_ = pick_upd_strategy(
+        p.N, kb_, cb_, p.R, p.S, act_traffic,
+        static_cast<std::int64_t>(kb_) * cb_ * p.R * p.S * vlen_ * vlen_,
+        threads_);
+  }
+}
+
+void ConvLayer::update(const tensor::ActTensor& in,
+                       const tensor::ActTensor& grad_out,
+                       tensor::WtTensor& grad_wt) {
+  const ConvParams& p = params_;
+  if (in.n() != p.N || in.channels() != p.C || in.h() != p.H ||
+      in.w() != p.W || in.pad_h() != in_halo_h_)
+    throw std::invalid_argument("ConvLayer::update: input geometry mismatch");
+  if (grad_out.n() != p.N || grad_out.channels() != p.K ||
+      grad_out.h() != p.P() || grad_out.pad_h() != out_pad_h_)
+    throw std::invalid_argument(
+        "ConvLayer::update: grad_out geometry mismatch");
+  if (grad_wt.outer() != kb_ || grad_wt.inner() != cb_ ||
+      grad_wt.r() != p.R || grad_wt.s() != p.S)
+    throw std::invalid_argument(
+        "ConvLayer::update: grad_wt geometry mismatch");
+
+  const float* in_b = in.data();
+  const float* do_b = grad_out.data();
+  const int n_pb = upd_pb_full_ + (upd_pb_rem_ > 0 ? 1 : 0);
+  const int n_qb = upd_qb_full_ + (upd_qb_rem_ > 0 ? 1 : 0);
+
+  // Accumulate all pixel blocks of minibatch range [n0, n1) into `dw` for
+  // dW block (kbi, cbi, r, s). `first` selects the beta0 kernel for the
+  // first contribution.
+  auto run_block = [&](float* dw_block, int kbi, int cbi, int r, int s,
+                       int n0, int n1, bool zero_first) {
+    bool first = zero_first;
+    for (int n = n0; n < n1; ++n) {
+      for (int pjb = 0; pjb < n_pb; ++pjb) {
+        const bool p_edge = (upd_pb_rem_ > 0 && pjb == upd_pb_full_);
+        const int oj0 = std::min(pjb, upd_pb_full_) * upd_bp_;
+        for (int qib = 0; qib < n_qb; ++qib) {
+          const bool q_edge = (upd_qb_rem_ > 0 && qib == upd_qb_full_);
+          const int oi0 = std::min(qib, upd_qb_full_) * upd_bq_;
+          const std::int64_t in_off =
+              n * in_n_stride_ + cbi * in_cb_stride_ +
+              static_cast<std::int64_t>(oj0 * p.stride_h + r + in_shift_h_) *
+                  in_row_stride_ +
+              static_cast<std::int64_t>(oi0 * p.stride_w + s + in_shift_w_) *
+                  vlen_;
+          const std::int64_t do_off =
+              n * out_n_stride_ + kbi * out_kb_stride_ +
+              static_cast<std::int64_t>(oj0 + out_pad_h_) * out_row_stride_ +
+              static_cast<std::int64_t>(oi0 + out_pad_w_) * vlen_;
+          const int v = upd_vmap_[((p_edge ? 1 : 0) * 2 + (q_edge ? 1 : 0)) *
+                                      2 +
+                                  (first ? 1 : 0)];
+          upd_variants_[v]->run(in_b + in_off, do_b + do_off, dw_block,
+                                in_b + in_off, do_b + do_off, dw_block);
+          first = false;
+        }
+      }
+    }
+  };
+
+  const std::int64_t tasks = static_cast<std::int64_t>(kb_) * cb_ * p.R * p.S;
+  auto task_coords = [&](std::int64_t t, int& kbi, int& cbi, int& r, int& s) {
+    s = static_cast<int>(t % p.S);
+    t /= p.S;
+    r = static_cast<int>(t % p.R);
+    t /= p.R;
+    cbi = static_cast<int>(t % cb_);
+    kbi = static_cast<int>(t / cb_);
+  };
+  const std::size_t dw_size = grad_wt.size();
+
+  switch (upd_strategy_) {
+    case UpdStrategy::auto_pick:  // resolved at setup; unreachable
+    case UpdStrategy::task: {
+#pragma omp parallel for num_threads(threads_) schedule(static)
+      for (std::int64_t t = 0; t < tasks; ++t) {
+        int kbi, cbi, r, s;
+        task_coords(t, kbi, cbi, r, s);
+        run_block(grad_wt.at(kbi, cbi, r, s), kbi, cbi, r, s, 0, p.N,
+                  /*zero_first=*/true);
+      }
+      return;
+    }
+    case UpdStrategy::minibatch: {
+      const int copies = threads_;
+      upd_scratch_.resize(dw_size * copies);
+#pragma omp parallel num_threads(threads_)
+      {
+        const int tid = omp_get_thread_num();
+        float* my = upd_scratch_.data() + dw_size * tid;
+        const Range nr = thread_chunk(p.N, tid, threads_);
+        if (nr.empty()) {
+          std::memset(my, 0, dw_size * sizeof(float));
+        } else {
+          for (std::int64_t t = 0; t < tasks; ++t) {
+            int kbi, cbi, r, s;
+            task_coords(t, kbi, cbi, r, s);
+            float* blk = my + grad_wt.offset(kbi, cbi, r, s);
+            run_block(blk, kbi, cbi, r, s, static_cast<int>(nr.begin),
+                      static_cast<int>(nr.end), /*zero_first=*/true);
+          }
+        }
+#pragma omp barrier
+        // Parallel tree-less reduction: each thread sums a contiguous slice
+        // of the dW element space over all copies.
+        const Range er = thread_chunk(static_cast<std::int64_t>(dw_size), tid,
+                                      threads_);
+        float* out = grad_wt.data();
+        for (std::int64_t e = er.begin; e < er.end; ++e) {
+          float acc = upd_scratch_[e];
+          for (int c = 1; c < copies; ++c)
+            acc += upd_scratch_[dw_size * c + e];
+          out[e] = acc;
+        }
+      }
+      return;
+    }
+    case UpdStrategy::hybrid: {
+      // G dW copies; group g covers a minibatch slice, its members split the
+      // task space (Section II-J's "hybrid versions of these two extremes").
+      const int groups = std::min(
+          {std::max(2, threads_ / 2), p.N, static_cast<int>(tasks)});
+      if (threads_ < 2 || groups < 2) {
+        // Degenerate case: hybrid needs >= 2 threads and >= 2 viable groups
+        // (each group must own a non-empty minibatch slice); run task-style.
+        for (std::int64_t t = 0; t < tasks; ++t) {
+          int kbi, cbi, r, s;
+          task_coords(t, kbi, cbi, r, s);
+          run_block(grad_wt.at(kbi, cbi, r, s), kbi, cbi, r, s, 0, p.N,
+                    /*zero_first=*/true);
+        }
+        return;
+      }
+      upd_scratch_.resize(dw_size * groups);
+#pragma omp parallel num_threads(threads_)
+      {
+        const int tid = omp_get_thread_num();
+        // Distribute threads over groups round-robin (tid % groups).
+        const int g = tid % groups;
+        const int member = tid / groups;
+        const int members =
+            threads_ / groups + (g < threads_ % groups ? 1 : 0);
+        float* my = upd_scratch_.data() + dw_size * g;
+        const Range nr = thread_chunk(p.N, g, groups);
+        const Range tr = thread_chunk(tasks, member, members);
+        for (std::int64_t t = tr.begin; t < tr.end; ++t) {
+          int kbi, cbi, r, s;
+          task_coords(t, kbi, cbi, r, s);
+          float* blk = my + grad_wt.offset(kbi, cbi, r, s);
+          run_block(blk, kbi, cbi, r, s, static_cast<int>(nr.begin),
+                    static_cast<int>(nr.end), /*zero_first=*/true);
+        }
+#pragma omp barrier
+        const Range er = thread_chunk(static_cast<std::int64_t>(dw_size), tid,
+                                      threads_);
+        float* out = grad_wt.data();
+        for (std::int64_t e = er.begin; e < er.end; ++e) {
+          float acc = upd_scratch_[e];
+          for (int c = 1; c < groups; ++c)
+            acc += upd_scratch_[dw_size * c + e];
+          out[e] = acc;
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace xconv::core

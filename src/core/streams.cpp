@@ -1,0 +1,62 @@
+#include "core/streams.hpp"
+
+#include <stdexcept>
+
+namespace xconv::core {
+
+void KernelStream::record_conv(std::uint16_t variant, std::int64_t in_off,
+                               std::int64_t wt_off, std::int64_t out_off) {
+  if (finished_) throw std::logic_error("KernelStream: record after finish");
+  var_.push_back(variant);
+  in_off_.push_back(in_off);
+  wt_off_.push_back(wt_off);
+  out_off_.push_back(out_off);
+  // Run-length encode: extend the current CONV-STREAK or open a new one.
+  if (!segments_.empty() && segments_.back().type == SegmentType::conv_streak)
+    ++segments_.back().info;
+  else
+    segments_.push_back({SegmentType::conv_streak, 1});
+}
+
+void KernelStream::record_apply(const ApplyRecord& rec) {
+  if (finished_) throw std::logic_error("KernelStream: record after finish");
+  applies_.push_back(rec);
+  segments_.push_back(
+      {SegmentType::apply, static_cast<std::int32_t>(applies_.size() - 1)});
+}
+
+void KernelStream::finish() { finished_ = true; }
+
+void KernelStream::clear() {
+  var_.clear();
+  in_off_.clear();
+  wt_off_.clear();
+  out_off_.clear();
+  segments_.clear();
+  applies_.clear();
+  finished_ = false;
+}
+
+void KernelStream::replay(
+    const std::vector<const kernels::ConvMicrokernel*>& variants,
+    const float* in_base, const float* wt_base, float* out_base,
+    const FusionArgs& fargs) const {
+  if (!finished_) throw std::logic_error("KernelStream: replay before finish");
+  const std::size_t total = var_.size();
+  std::size_t i = 0;
+  for (const Segment& seg : segments_) {
+    if (seg.type == SegmentType::conv_streak) {
+      for (std::int32_t c = 0; c < seg.info; ++c, ++i) {
+        // Prefetch args = the next call's sub-tensors (clamped at the tail).
+        const std::size_t j = (i + 1 < total) ? i + 1 : i;
+        variants[var_[i]]->run(in_base + in_off_[i], wt_base + wt_off_[i],
+                               out_base + out_off_[i], in_base + in_off_[j],
+                               wt_base + wt_off_[j], out_base + out_off_[j]);
+      }
+    } else {
+      apply_fused_op(applies_[seg.info], out_base, fargs);
+    }
+  }
+}
+
+}  // namespace xconv::core

@@ -1,0 +1,65 @@
+// Kernel streams (paper Section II-H, Figures 1-2, Algorithm 5).
+//
+// During the *dryrun* phase each thread records, instead of executing, its
+// sequence of microkernel calls: a variant stream plus input/weight/output
+// offset streams, and APPLY records for fused operators. Consecutive
+// convolutions are run-length encoded as CONV-STREAK segments.
+//
+// During *replay* (Algorithm 5) the segment program is executed with no
+// branchy boundary logic; the prefetch arguments of call i are simply the
+// offsets of call i+1 — the property Figure 1 derives (pi_off_i = i_off_{i+1}).
+// Offsets (not pointers) are recorded so one stream replays against any
+// tensor instances with the same geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "kernels/microkernel.hpp"
+
+namespace xconv::core {
+
+enum class SegmentType : std::uint8_t { conv_streak, apply };
+
+struct Segment {
+  SegmentType type;
+  std::int32_t info;  ///< conv_streak: #convs; apply: index into applies()
+};
+
+class KernelStream {
+ public:
+  /// Dryrun recording ------------------------------------------------------
+  void record_conv(std::uint16_t variant, std::int64_t in_off,
+                   std::int64_t wt_off, std::int64_t out_off);
+  void record_apply(const ApplyRecord& rec);
+  /// Seal the stream; replays are allowed afterwards.
+  void finish();
+
+  /// Replay (Algorithm 5) --------------------------------------------------
+  /// `variants[v]` resolves the CONV kernel for variant stream value v.
+  void replay(const std::vector<const kernels::ConvMicrokernel*>& variants,
+              const float* in_base, const float* wt_base, float* out_base,
+              const FusionArgs& fargs) const;
+
+  /// Introspection ---------------------------------------------------------
+  std::size_t n_convs() const { return var_.size(); }
+  std::size_t n_segments() const { return segments_.size(); }
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::vector<ApplyRecord>& applies() const { return applies_; }
+  const std::vector<std::uint16_t>& variants() const { return var_; }
+  const std::vector<std::int64_t>& in_offsets() const { return in_off_; }
+  const std::vector<std::int64_t>& wt_offsets() const { return wt_off_; }
+  const std::vector<std::int64_t>& out_offsets() const { return out_off_; }
+  bool finished() const { return finished_; }
+  void clear();
+
+ private:
+  std::vector<std::uint16_t> var_;
+  std::vector<std::int64_t> in_off_, wt_off_, out_off_;
+  std::vector<Segment> segments_;
+  std::vector<ApplyRecord> applies_;
+  bool finished_ = false;
+};
+
+}  // namespace xconv::core

@@ -1,0 +1,36 @@
+#include "gemm/gemm_blocked_detail.hpp"
+
+namespace xconv::gemm {
+
+// Register-blocked small GEMM: NB rows of out are kept as independent
+// accumulation chains (hiding FMA latency, paper Section II-B) while the M
+// dimension is vectorized. The templated panel kernels live in the detail
+// header so tests can instantiate individual shapes.
+
+void gemm_blocked(int M, int N, int K, const float* wt, int lda,
+                  const float* in, int ldb, float* out, int ldc) {
+  int n = 0;
+  for (; n + 6 <= N; n += 6)
+    detail::panel<6>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
+                     ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
+  for (; n + 4 <= N; n += 4)
+    detail::panel<4>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
+                     ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
+  for (; n + 2 <= N; n += 2)
+    detail::panel<2>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
+                     ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
+  for (; n < N; ++n)
+    detail::panel<1>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
+                     ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
+}
+
+void gemm_blocked_b0(int M, int N, int K, const float* wt, int lda,
+                     const float* in, int ldb, float* out, int ldc) {
+  for (int n = 0; n < N; ++n) {
+    float* c = out + static_cast<std::int64_t>(n) * ldc;
+    for (int m = 0; m < M; ++m) c[m] = 0.0f;
+  }
+  gemm_blocked(M, N, K, wt, lda, in, ldb, out, ldc);
+}
+
+}  // namespace xconv::gemm

@@ -1,0 +1,49 @@
+// Panel kernels for the blocked small GEMM: NB output rows processed
+// together so the compiler keeps NB accumulator vectors live per M-chunk.
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/gemm.hpp"
+
+namespace xconv::gemm::detail {
+
+/// Accumulate NB rows of out (+= in * wt) for all M columns.
+template <int NB>
+void panel(int M, int K, const float* wt, int lda, const float* in, int ldb,
+           float* out, int ldc) {
+  constexpr int kMChunk = 16;
+  int m0 = 0;
+  for (; m0 + kMChunk <= M; m0 += kMChunk) {
+    float acc[NB][kMChunk];
+    for (int r = 0; r < NB; ++r)
+#pragma omp simd
+      for (int m = 0; m < kMChunk; ++m)
+        acc[r][m] = out[static_cast<std::int64_t>(r) * ldc + m0 + m];
+    for (int k = 0; k < K; ++k) {
+      const float* a = wt + static_cast<std::int64_t>(k) * lda + m0;
+      for (int r = 0; r < NB; ++r) {
+        const float b = in[static_cast<std::int64_t>(r) * ldb + k];
+#pragma omp simd
+        for (int m = 0; m < kMChunk; ++m) acc[r][m] += b * a[m];
+      }
+    }
+    for (int r = 0; r < NB; ++r)
+#pragma omp simd
+      for (int m = 0; m < kMChunk; ++m)
+        out[static_cast<std::int64_t>(r) * ldc + m0 + m] = acc[r][m];
+  }
+  // M remainder: plain loops (correctness path; remainder M is rare in the
+  // blocked layouts where M is a VLEN multiple).
+  for (; m0 < M; ++m0) {
+    for (int r = 0; r < NB; ++r) {
+      float acc = out[static_cast<std::int64_t>(r) * ldc + m0];
+      for (int k = 0; k < K; ++k)
+        acc += in[static_cast<std::int64_t>(r) * ldb + k] *
+               wt[static_cast<std::int64_t>(k) * lda + m0];
+      out[static_cast<std::int64_t>(r) * ldc + m0] = acc;
+    }
+  }
+}
+
+}  // namespace xconv::gemm::detail

@@ -1,0 +1,27 @@
+#include "gemm/gemm.hpp"
+
+namespace xconv::gemm {
+
+// The three spelled-out nested loops of the paper's "autovec" comparator:
+// no manual blocking, vectorization left entirely to the compiler.
+void gemm_ref(int M, int N, int K, const float* wt, int lda, const float* in,
+              int ldb, float* out, int ldc) {
+  for (int n = 0; n < N; ++n)
+    for (int k = 0; k < K; ++k) {
+      const float b = in[static_cast<std::int64_t>(n) * ldb + k];
+      const float* a = wt + static_cast<std::int64_t>(k) * lda;
+      float* c = out + static_cast<std::int64_t>(n) * ldc;
+      for (int m = 0; m < M; ++m) c[m] += b * a[m];
+    }
+}
+
+void gemm_ref_b0(int M, int N, int K, const float* wt, int lda,
+                 const float* in, int ldb, float* out, int ldc) {
+  for (int n = 0; n < N; ++n) {
+    float* c = out + static_cast<std::int64_t>(n) * ldc;
+    for (int m = 0; m < M; ++m) c[m] = 0.0f;
+  }
+  gemm_ref(M, N, K, wt, lda, in, ldb, out, ldc);
+}
+
+}  // namespace xconv::gemm

@@ -1,0 +1,87 @@
+// The GxM Execution Task Graph (paper Section II-L, Figure 3).
+//
+// Build pipeline, implemented stage by stage so each transformation is
+// observable/testable:
+//   NL    — Network List (parser output)
+//   ENL   — Extended NL: Split nodes inserted wherever a top feeds more than
+//           one bottom (tensor distribution fwd / gradient reduction bwd)
+//   ENG   — Extended Node Graph: nodes wired through Ports
+//   PETG  — Preliminary ETG: one task per (node, pass) with dependencies
+//           (FWD after producers' FWD; BWD after consumers' BWD; UPD with
+//           the same deps as the node's BWD)
+//   UETG  — task binning: tasks ordered into pass bins by topological level
+//   ETG   — duplicates eliminated; final executable schedules
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gxm/nodes.hpp"
+#include "gxm/parser.hpp"
+
+namespace xconv::gxm {
+
+enum class Pass { FWD, BWD, UPD };
+
+struct Task {
+  Node* node = nullptr;
+  Pass pass = Pass::FWD;
+  int level = 0;  ///< topological level (binning key)
+};
+
+struct GraphOptions {
+  int vlen = 0;     ///< 0 = derive from the effective ISA
+  int threads = 0;  ///< 0 = omp_get_max_threads()
+  unsigned seed = 1;
+};
+
+class Graph {
+ public:
+  Graph(const std::vector<NodeSpec>& nl, const GraphOptions& opt = {});
+
+  /// One forward pass over the ETG's FWD schedule.
+  void forward(bool training = true);
+  /// Backward + weight-gradient passes over the BWD/UPD schedules, applying
+  /// the solver update per parameter-owning node.
+  void backward_update(const Solver& solver);
+  /// Forward + backward + update (one training iteration).
+  void train_step(const Solver& solver);
+
+  float loss() const;
+  float top1_accuracy() const;
+  InputNode* input() { return input_; }
+
+  // Introspection (tests assert on the Figure 3 pipeline's behaviour).
+  int splits_inserted() const { return splits_inserted_; }
+  std::size_t n_nodes() const { return nodes_.size(); }
+  const std::vector<Task>& fwd_schedule() const { return fwd_tasks_; }
+  const std::vector<Task>& bwd_schedule() const { return bwd_tasks_; }
+  const std::vector<Task>& upd_schedule() const { return upd_tasks_; }
+  Node* find(const std::string& name);
+  /// Total parameter gradient elements (for the MLSL allreduce buffer).
+  std::size_t grad_elems() const;
+  void export_grads(float* buf) const;
+  void import_grads(const float* buf);
+  /// Nodes owning parameters, in schedule order.
+  std::vector<Node*> param_nodes() const;
+
+ private:
+  void extend_nl(std::vector<NodeSpec>& nl);           // NL -> ENL
+  void build_eng(const std::vector<NodeSpec>& enl);    // ENL -> ENG
+  void build_etg();                                    // PETG -> UETG -> ETG
+
+  GraphOptions opt_;
+  int vlen_ = 16;
+  int threads_ = 1;
+  int splits_inserted_ = 0;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, std::unique_ptr<Port>> ports_;
+  std::vector<Task> fwd_tasks_, bwd_tasks_, upd_tasks_;
+  InputNode* input_ = nullptr;
+  SoftmaxLossNode* loss_ = nullptr;
+};
+
+}  // namespace xconv::gxm

@@ -1,0 +1,235 @@
+// GxM node types (paper Section II-L): each ETG node executes one of the
+// three passes (FWD / BWD / UPD) of one layer when invoked.
+//
+// Dataflow convention: activations travel between nodes through named Ports
+// (blocked ActTensors plus a same-shaped gradient tensor). After the NL
+// Extender inserts Split nodes, every port has exactly one consumer, so a
+// backward pass may *overwrite* its bottom ports' gradients — the property
+// that lets Conv backward reuse the forward machinery unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/conv_layer.hpp"
+#include "gxm/parser.hpp"
+#include "tensor/layout.hpp"
+
+namespace xconv::gxm {
+
+/// Logical geometry of a port (blocked tensors derive from it + vlen).
+struct PortShape {
+  int n = 0, c = 0, h = 0, w = 0;
+  int pad_h = 0, pad_w = 0;  ///< halo the *consumer* requires (set by wiring)
+};
+
+struct Port {
+  std::string name;
+  PortShape shape;
+  tensor::ActTensor act;
+  tensor::ActTensor grad;
+  class Node* producer = nullptr;
+  class Node* consumer = nullptr;
+
+  void allocate(int vlen) {
+    act = tensor::ActTensor(shape.n, shape.c, shape.h, shape.w, shape.pad_h,
+                            shape.pad_w, vlen);
+    grad = tensor::ActTensor(shape.n, shape.c, shape.h, shape.w, shape.pad_h,
+                             shape.pad_w, vlen);
+  }
+};
+
+/// SGD hyper-parameters handed to Node::update.
+struct Solver {
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Node {
+ public:
+  Node(const NodeSpec& spec) : spec_(spec) {}
+  virtual ~Node() = default;
+
+  const std::string& name() const { return spec_.name; }
+  const std::string& type() const { return spec_.type; }
+  const NodeSpec& spec() const { return spec_; }
+
+  /// Derive top-port shapes from (already-shaped) bottom ports. Called in
+  /// topological order before allocation.
+  virtual void infer_shapes() = 0;
+  /// Allocate weights/scratch once ports exist.
+  virtual void setup(int /*vlen*/, int /*threads*/) {}
+  virtual void forward(bool training) = 0;
+  virtual void backward() {}
+  /// Weight-gradient computation (the UPD pass body). BatchNorm/FC compute
+  /// their gradients during backward(); Conv runs Algorithm 9 here.
+  virtual void compute_grads() {}
+  /// Apply the optimizer step using the current (possibly allreduced)
+  /// gradients.
+  virtual void apply_update(const Solver&) {}
+  /// Single-node convenience: compute + apply.
+  void update(const Solver& s) {
+    compute_grads();
+    apply_update(s);
+  }
+  /// Parameter count (weights the node owns).
+  virtual std::size_t param_count() const { return 0; }
+  /// Serialize gradients into `buf` (for the MLSL allreduce) / read back.
+  virtual void export_grads(float* /*buf*/) const {}
+  virtual void import_grads(const float* /*buf*/) {}
+
+  std::vector<Port*> bottoms;
+  std::vector<Port*> tops;
+
+ protected:
+  NodeSpec spec_;
+  int vlen_ = 16;
+  int threads_ = 1;
+};
+
+/// Factory used by the Graph builder.
+std::unique_ptr<Node> make_node(const NodeSpec& spec);
+
+// --- concrete node accessors the trainer/tests need -------------------------
+
+class InputNode;
+class SoftmaxLossNode;
+
+/// Synthetic-batch control for InputNode (see data.hpp).
+InputNode* as_input(Node*);
+SoftmaxLossNode* as_loss(Node*);
+
+class InputNode final : public Node {
+ public:
+  explicit InputNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void setup(int vlen, int threads) override;
+  void forward(bool training) override;
+  const std::vector<int>& labels() const { return labels_; }
+  void set_seed(unsigned seed) { seed_ = seed; }
+  int classes() const { return spec_.geti("classes", 10); }
+
+ private:
+  std::vector<int> labels_;
+  unsigned seed_ = 1;
+  long batch_counter_ = 0;
+};
+
+class ConvNode final : public Node {
+ public:
+  explicit ConvNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void setup(int vlen, int threads) override;
+  void forward(bool training) override;
+  void backward() override;
+  void compute_grads() override;
+  void apply_update(const Solver&) override;
+  std::size_t param_count() const override { return wt_.size(); }
+  void export_grads(float* buf) const override;
+  void import_grads(const float* buf) override;
+  core::ConvLayer* layer() { return layer_.get(); }
+  tensor::WtTensor& weights() { return wt_; }
+
+ private:
+  std::unique_ptr<core::ConvLayer> layer_;
+  tensor::WtTensor wt_, dwt_, vel_;
+};
+
+class BatchNormNode final : public Node {
+ public:
+  explicit BatchNormNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void setup(int vlen, int threads) override;
+  void forward(bool training) override;
+  void backward() override;
+  void apply_update(const Solver&) override;
+  std::size_t param_count() const override { return gamma_.size() * 2; }
+  void export_grads(float* buf) const override;
+  void import_grads(const float* buf) override;
+
+ private:
+  std::vector<float> gamma_, beta_, dgamma_, dbeta_, vg_, vb_;
+  std::vector<float> mean_, invstd_;
+  std::vector<float> run_mean_, run_var_;
+  bool relu_ = false;
+};
+
+class MaxPoolNode final : public Node {
+ public:
+  explicit MaxPoolNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void setup(int vlen, int threads) override;
+  void forward(bool training) override;
+  void backward() override;
+
+ private:
+  int window_ = 2, stride_ = 2, pad_ = 0;
+  std::vector<std::int32_t> argmax_;  ///< flat input index per output elem
+};
+
+class AvgPoolNode final : public Node {
+ public:
+  explicit AvgPoolNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void forward(bool training) override;
+  void backward() override;
+};
+
+class InnerProductNode final : public Node {
+ public:
+  explicit InnerProductNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void setup(int vlen, int threads) override;
+  void forward(bool training) override;
+  void backward() override;
+  void apply_update(const Solver&) override;
+  std::size_t param_count() const override { return wt_.size() + bias_.size(); }
+  void export_grads(float* buf) const override;
+  void import_grads(const float* buf) override;
+
+ private:
+  int in_c_ = 0, out_k_ = 0;
+  std::vector<float> wt_, dwt_, vwt_;    ///< [K][C]
+  std::vector<float> bias_, dbias_, vbias_;
+};
+
+class SoftmaxLossNode final : public Node {
+ public:
+  explicit SoftmaxLossNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void forward(bool training) override;
+  void backward() override;
+  float loss() const { return loss_; }
+  float top1_accuracy() const { return top1_; }
+  void set_labels(const std::vector<int>* labels) { labels_ = labels; }
+
+ private:
+  const std::vector<int>* labels_ = nullptr;
+  std::vector<float> probs_;
+  float loss_ = 0, top1_ = 0;
+};
+
+class EltwiseNode final : public Node {
+ public:
+  explicit EltwiseNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void forward(bool training) override;
+  void backward() override;
+
+ private:
+  bool relu_ = false;
+};
+
+/// Split: tensor distribution forward, gradient reduction backward — the
+/// node type the NL Extender inserts (paper Figure 3).
+class SplitNode final : public Node {
+ public:
+  explicit SplitNode(const NodeSpec& s) : Node(s) {}
+  void infer_shapes() override;
+  void forward(bool training) override;
+  void backward() override;
+};
+
+}  // namespace xconv::gxm

@@ -1,0 +1,129 @@
+#include "gxm/parser.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace xconv::gxm {
+
+namespace {
+
+struct Lexer {
+  const std::string& text;
+  std::size_t pos = 0;
+  int line = 1;
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '#') {  // comment to end of line
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("topology parse error at line " +
+                             std::to_string(line) + ": " + what);
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_'))
+      ++pos;
+    if (pos == start) fail("expected identifier");
+    return text.substr(start, pos - start);
+  }
+
+  std::string quoted() {
+    expect('"');
+    std::size_t start = pos;
+    while (pos < text.size() && text[pos] != '"') ++pos;
+    if (pos >= text.size()) fail("unterminated string");
+    std::string s = text.substr(start, pos - start);
+    ++pos;
+    return s;
+  }
+
+  std::string number_token() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E'))
+      ++pos;
+    if (pos == start) fail("expected number");
+    return text.substr(start, pos - start);
+  }
+};
+
+}  // namespace
+
+std::vector<NodeSpec> parse_topology(const std::string& text) {
+  Lexer lx{text};
+  std::vector<NodeSpec> nl;
+
+  while (!lx.eof()) {
+    const std::string kw = lx.ident();
+    if (kw != "layer") lx.fail("expected 'layer', got '" + kw + "'");
+    lx.expect('{');
+    NodeSpec spec;
+    while (lx.peek() != '}') {
+      const std::string key = lx.ident();
+      lx.expect(':');
+      if (key == "name") {
+        spec.name = lx.quoted();
+      } else if (key == "type") {
+        spec.type = lx.quoted();
+      } else if (key == "bottom") {
+        spec.bottoms.push_back(lx.quoted());
+      } else if (key == "top") {
+        spec.tops.push_back(lx.quoted());
+      } else {
+        const std::string tok = lx.number_token();
+        if (tok.find_first_of(".eE") != std::string::npos &&
+            tok.find_first_of("0123456789") != std::string::npos &&
+            (tok.find('.') != std::string::npos ||
+             tok.find('e') != std::string::npos ||
+             tok.find('E') != std::string::npos)) {
+          spec.fparams[key] = std::stod(tok);
+        } else {
+          spec.iparams[key] = std::stoi(tok);
+        }
+      }
+    }
+    lx.expect('}');
+    if (spec.name.empty()) lx.fail("layer missing name");
+    if (spec.type.empty()) lx.fail("layer '" + spec.name + "' missing type");
+    nl.push_back(std::move(spec));
+  }
+  return nl;
+}
+
+}  // namespace xconv::gxm

@@ -1,0 +1,43 @@
+#include "gxm/trainer.hpp"
+
+#include "platform/timer.hpp"
+
+namespace xconv::gxm {
+
+TrainStats Trainer::train(int iters) {
+  TrainStats st;
+  st.iterations = iters;
+  const int batch = g_.input()->tops[0]->shape.n;
+  double top1_sum = 0;
+  platform::Timer t;
+  for (int i = 0; i < iters; ++i) {
+    g_.train_step(solver_);
+    if (i == 0) st.first_loss = g_.loss();
+    st.last_loss = g_.loss();
+    top1_sum += g_.top1_accuracy();
+    if (on_iteration) on_iteration(i, g_.loss());
+  }
+  st.seconds = t.seconds();
+  st.images_per_second =
+      st.seconds > 0 ? iters * static_cast<double>(batch) / st.seconds : 0;
+  st.mean_top1 = static_cast<float>(top1_sum / iters);
+  return st;
+}
+
+TrainStats Trainer::inference(int iters) {
+  TrainStats st;
+  st.iterations = iters;
+  const int batch = g_.input()->tops[0]->shape.n;
+  platform::Timer t;
+  for (int i = 0; i < iters; ++i) {
+    g_.forward(/*training=*/false);
+    st.last_loss = g_.loss();
+    if (i == 0) st.first_loss = st.last_loss;
+  }
+  st.seconds = t.seconds();
+  st.images_per_second =
+      st.seconds > 0 ? iters * static_cast<double>(batch) / st.seconds : 0;
+  return st;
+}
+
+}  // namespace xconv::gxm

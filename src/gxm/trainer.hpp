@@ -1,0 +1,43 @@
+// Training/inference driver over the ETG (paper Section II-L / III-C): runs
+// iterations, tracks loss/accuracy/img-per-second, and optionally performs
+// data-parallel multi-node training with the simulated MLSL allreduce
+// (src/mlsl) overlapped conceptually with the backward pass.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gxm/graph.hpp"
+
+namespace xconv::gxm {
+
+struct TrainStats {
+  int iterations = 0;
+  double seconds = 0;
+  double images_per_second = 0;
+  float first_loss = 0;
+  float last_loss = 0;
+  float mean_top1 = 0;
+};
+
+class Trainer {
+ public:
+  Trainer(Graph& graph, const Solver& solver) : g_(graph), solver_(solver) {}
+
+  /// Run `iters` training iterations; returns throughput/loss statistics.
+  TrainStats train(int iters);
+
+  /// Forward-only inference throughput over `iters` batches.
+  TrainStats inference(int iters);
+
+  /// Per-iteration hook (iteration, loss) — used by tests and examples.
+  std::function<void(int, float)> on_iteration;
+
+ private:
+  Graph& g_;
+  Solver solver_;
+};
+
+}  // namespace xconv::gxm

@@ -1,0 +1,117 @@
+// Minimal x86-64 assembler: exactly the instruction subset the convolution
+// and GEMM microkernel generators need (paper Section II-D/E).
+//
+//   * GPR: mov/add/sub/cmp with immediates, reg-reg mov/add, dec-and-branch
+//     loops (backward rel32 jcc), push/pop, ret.
+//   * SIMD fp32: vmovups (load/store), vbroadcastss, vfmadd231ps
+//     (reg-reg-reg, full-width memory operand, and EVEX embedded-broadcast
+//     memory operand), vxorps, vmaxps, vaddps — in VEX.256 (AVX2) and
+//     EVEX.512 (AVX-512) forms.
+//   * AVX512-VNNI: vpdpwssd (int16 pair dot-product accumulate).
+//   * prefetcht0/t1 (the two-level prefetch of Section II-E).
+//
+// Memory operands are always [base + disp32] with JIT-time-constant
+// displacements — runtime code specialization makes every tensor offset a
+// constant, which is the whole point of the approach. EVEX disp8*N
+// compression is applied when the displacement permits.
+#pragma once
+
+#include <cstdint>
+
+#include "jit/code_buffer.hpp"
+
+namespace xconv::jit {
+
+/// General-purpose registers (hardware encoding).
+enum class Gpr : int {
+  rax = 0, rcx = 1, rdx = 2, rbx = 3, rsp = 4, rbp = 5, rsi = 6, rdi = 7,
+  r8 = 8, r9 = 9, r10 = 10, r11 = 11, r12 = 12, r13 = 13, r14 = 14, r15 = 15,
+};
+
+/// Vector register id: 0..15 for VEX (ymm), 0..31 for EVEX (zmm).
+struct Vec {
+  int id = 0;
+};
+
+/// [base + disp] memory operand.
+struct Mem {
+  Gpr base = Gpr::rax;
+  std::int32_t disp = 0;
+};
+
+/// Vector width selecting the encoding: VEX.256 or EVEX.512.
+enum class VecWidth { ymm256, zmm512 };
+
+/// Condition codes for jcc (subset).
+enum class Cond : std::uint8_t {
+  ne = 0x5,  ///< jnz / jne
+  l = 0xC,   ///< jl (signed)
+  g = 0xF,   ///< jg (signed)
+};
+
+class Assembler {
+ public:
+  explicit Assembler(CodeBuffer& buf) : buf_(buf) {}
+
+  // --- control flow / GPR ---------------------------------------------------
+  void ret();
+  void push(Gpr r);
+  void pop(Gpr r);
+  void mov_ri(Gpr r, std::int64_t imm);
+  void mov_rr(Gpr dst, Gpr src);
+  void add_ri(Gpr r, std::int32_t imm);
+  void sub_ri(Gpr r, std::int32_t imm);
+  void cmp_ri(Gpr r, std::int32_t imm);
+  void add_rr(Gpr dst, Gpr src);
+  /// Backward conditional jump to an absolute code offset (must be <= here()).
+  void jcc_back(Cond c, std::size_t target);
+  /// Current code offset, usable as a backward-jump target.
+  std::size_t here() const { return buf_.size(); }
+
+  // --- SIMD fp32 -------------------------------------------------------------
+  void vmovups_load(VecWidth w, Vec dst, Mem src);
+  void vmovups_store(VecWidth w, Mem dst, Vec src);
+  void vbroadcastss(VecWidth w, Vec dst, Mem src);
+  /// dst += a * b (all registers).
+  void vfmadd231ps(VecWidth w, Vec dst, Vec a, Vec b);
+  /// dst += a * [mem] (full-width memory operand).
+  void vfmadd231ps_mem(VecWidth w, Vec dst, Vec a, Mem b);
+  /// dst += a * broadcast32([mem]) — EVEX {1toN} form; zmm512 only.
+  void vfmadd231ps_bcast(VecWidth w, Vec dst, Vec a, Mem b);
+  void vxorps(VecWidth w, Vec dst, Vec a, Vec b);
+  void vmaxps(VecWidth w, Vec dst, Vec a, Vec b);
+  void vaddps(VecWidth w, Vec dst, Vec a, Vec b);
+  void vaddps_mem(VecWidth w, Vec dst, Vec a, Mem b);
+
+  // --- AVX512-VNNI ------------------------------------------------------------
+  /// dst(i32) += dot2(a(i16 pairs), [mem](i16 pairs)); zmm512 only.
+  void vpdpwssd_mem(Vec dst, Vec a, Mem b);
+  void vpdpwssd(Vec dst, Vec a, Vec b);
+  /// dst(i32) += dot2(a, broadcast32([mem])) — {1to16} form; zmm512 only.
+  void vpdpwssd_bcast(Vec dst, Vec a, Mem b);
+  /// dst(fp32) = cvt(src(i32)); zmm512 only.
+  void vcvtdq2ps(Vec dst, Vec src);
+
+  // --- prefetch ---------------------------------------------------------------
+  void prefetcht0(Mem m);
+  void prefetcht1(Mem m);
+
+ private:
+  // Encoding helpers (see .cpp for the bit layouts).
+  void rex(bool w, int reg, int index, int base);
+  void modrm_mem(int reg, Mem m, int disp8_scale);
+  void vex3(int reg, Mem m, int vvvv, int map, int pp, bool w, bool l256);
+  void vex3_rr(int reg, int rm, int vvvv, int map, int pp, bool w, bool l256);
+  void evex(int reg, Mem m, int vvvv, int map, int pp, bool w, bool bcast,
+            int disp8_scale);
+  void evex_rr(int reg, int rm, int vvvv, int map, int pp, bool w);
+
+  void vop_mem(VecWidth w, std::uint8_t opcode, int map, int pp, Vec reg,
+               Vec vvvv, Mem m, bool bcast, int disp8_scale = 0);
+  void vop_rr(VecWidth w, std::uint8_t opcode, int map, int pp, Vec reg,
+              Vec vvvv, Vec rm);
+
+  CodeBuffer& buf_;
+};
+
+}  // namespace xconv::jit

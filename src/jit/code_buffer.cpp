@@ -1,0 +1,77 @@
+#include "jit/code_buffer.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace xconv::jit {
+
+CodeBuffer::CodeBuffer(std::size_t capacity) {
+  const std::size_t page = 4096;
+  capacity_ = (capacity + page - 1) / page * page;
+  void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED)
+    throw std::runtime_error("CodeBuffer: mmap failed");
+  mem_ = static_cast<std::uint8_t*>(p);
+}
+
+CodeBuffer::CodeBuffer(CodeBuffer&& other) noexcept {
+  *this = std::move(other);
+}
+
+CodeBuffer& CodeBuffer::operator=(CodeBuffer&& other) noexcept {
+  if (this != &other) {
+    if (mem_ != nullptr) ::munmap(mem_, capacity_);
+    mem_ = std::exchange(other.mem_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+    size_ = std::exchange(other.size_, 0);
+    finalized_ = std::exchange(other.finalized_, false);
+  }
+  return *this;
+}
+
+CodeBuffer::~CodeBuffer() {
+  if (mem_ != nullptr) ::munmap(mem_, capacity_);
+}
+
+void CodeBuffer::require_writable() const {
+  if (finalized_)
+    throw std::logic_error("CodeBuffer: emission after finalize()");
+}
+
+void CodeBuffer::emit8(std::uint8_t b) {
+  require_writable();
+  if (size_ + 1 > capacity_)
+    throw std::runtime_error("CodeBuffer: capacity exceeded");
+  mem_[size_++] = b;
+}
+
+void CodeBuffer::emit16(std::uint16_t v) { emit(&v, 2); }
+void CodeBuffer::emit32(std::uint32_t v) { emit(&v, 4); }
+void CodeBuffer::emit64(std::uint64_t v) { emit(&v, 8); }
+
+void CodeBuffer::emit(const void* bytes, std::size_t n) {
+  require_writable();
+  if (size_ + n > capacity_)
+    throw std::runtime_error("CodeBuffer: capacity exceeded");
+  std::memcpy(mem_ + size_, bytes, n);
+  size_ += n;
+}
+
+void CodeBuffer::patch32(std::size_t at, std::uint32_t v) {
+  require_writable();
+  if (at + 4 > size_) throw std::logic_error("CodeBuffer: patch out of range");
+  std::memcpy(mem_ + at, &v, 4);
+}
+
+void CodeBuffer::finalize() {
+  require_writable();
+  if (::mprotect(mem_, capacity_, PROT_READ | PROT_EXEC) != 0)
+    throw std::runtime_error("CodeBuffer: mprotect(RX) failed");
+  finalized_ = true;
+}
+
+}  // namespace xconv::jit

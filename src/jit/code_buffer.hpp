@@ -1,0 +1,61 @@
+// Executable code buffer for the runtime JIT (paper Section II-D).
+//
+// Pages are mmap'd read-write, filled with machine code by the generators,
+// then flipped to read-execute (`finalize`) before the first call — W^X is
+// maintained at all times. One buffer per generated kernel; a ConvLayer keeps
+// its kernels alive for the lifetime of the layer, matching the paper's
+// "JIT once at layer setup, no recompilation at runtime" model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xconv::jit {
+
+class CodeBuffer {
+ public:
+  /// Reserve `capacity` bytes of RW pages.
+  explicit CodeBuffer(std::size_t capacity = 1 << 16);
+  CodeBuffer(const CodeBuffer&) = delete;
+  CodeBuffer& operator=(const CodeBuffer&) = delete;
+  CodeBuffer(CodeBuffer&& other) noexcept;
+  CodeBuffer& operator=(CodeBuffer&& other) noexcept;
+  ~CodeBuffer();
+
+  void emit8(std::uint8_t b);
+  void emit16(std::uint16_t v);
+  void emit32(std::uint32_t v);
+  void emit64(std::uint64_t v);
+  void emit(const void* bytes, std::size_t n);
+
+  /// Current emission offset (== size of code so far).
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  const std::uint8_t* data() const { return mem_; }
+
+  /// Patch a previously emitted 32-bit field (e.g. a forward jump).
+  void patch32(std::size_t at, std::uint32_t v);
+
+  /// Switch pages to read+execute. Must be called exactly once, after which
+  /// no further emission is allowed.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Entry point as a callable of the given function-pointer type.
+  template <class Fn>
+  Fn entry() const {
+    static_assert(sizeof(Fn) == sizeof(void*));
+    return reinterpret_cast<Fn>(const_cast<std::uint8_t*>(mem_));
+  }
+
+ private:
+  void require_writable() const;
+
+  std::uint8_t* mem_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace xconv::jit

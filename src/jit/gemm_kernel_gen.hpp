@@ -1,0 +1,53 @@
+// Runtime generator for small GEMM kernels (the LIBXSMM idea the paper builds
+// on, ref [14]): C(N x M) += B(N x K) * A(K x M) with M equal to the vector
+// width, K a free reduction length, and the N rows held as independent
+// accumulation chains in registers. A 1x1 convolution microkernel *is* this
+// kernel (Section II-D: "the linear algebra expert eye realizes a matrix
+// multiplication with M^ = k, N^ = RBQ, K^ = c").
+//
+// ABI: conv_fn with (in = B, wt = A, out = C); leading dimensions are baked
+// into the generated code.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "jit/code_buffer.hpp"
+#include "jit/kernel_abi.hpp"
+#include "platform/cpu.hpp"
+
+namespace xconv::jit {
+
+struct GemmKernelDesc {
+  platform::Isa isa = platform::Isa::avx512;
+  int vlen = 16;  ///< == M
+  int n = 1;      ///< C rows kept in registers (<= accumulator budget)
+  int k = 16;     ///< reduction length
+  int lda = 16;   ///< A row stride (elements)
+  int ldb = 16;   ///< B row stride (elements)
+  int ldc = 16;   ///< C row stride (elements)
+  bool beta0 = false;
+
+  std::string key() const;
+  void validate() const;
+};
+
+class GemmKernel {
+ public:
+  GemmKernel(GemmKernelDesc desc, CodeBuffer buf);
+
+  void operator()(const float* b, const float* a, float* c) const {
+    fn_(b, a, c, nullptr, nullptr, nullptr);
+  }
+  conv_fn fn() const { return fn_; }
+  const GemmKernelDesc& desc() const { return desc_; }
+
+ private:
+  GemmKernelDesc desc_;
+  CodeBuffer buf_;
+  conv_fn fn_;
+};
+
+std::unique_ptr<GemmKernel> generate_gemm_kernel(const GemmKernelDesc& desc);
+
+}  // namespace xconv::jit

@@ -1,0 +1,17 @@
+// The microkernel ABI shared by every backend (JIT, compiled intrinsics,
+// scalar): six pointer arguments, as introduced when the paper extends the
+// kernel API for two-level prefetching (Section II-E):
+//   (in, wt, out)          — sub-tensors of the current invocation
+//   (pf_in, pf_wt, pf_out) — sub-tensors of a *future* invocation, prefetched
+//                            to L2 while this one computes.
+// Passing the next call's base pointers (offsets) as prefetch arguments is
+// exactly the property the kernel-streams replay exploits (Section II-H).
+#pragma once
+
+namespace xconv::jit {
+
+using conv_fn = void (*)(const float* in, const float* wt, float* out,
+                         const float* pf_in, const float* pf_wt,
+                         const float* pf_out);
+
+}  // namespace xconv::jit

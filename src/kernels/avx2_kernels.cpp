@@ -1,0 +1,75 @@
+// Compiled AVX2 microkernels; see avx512_kernels.cpp for the role of the
+// compiled backend. vlen = 8, no embedded broadcast (explicit set1).
+#include <immintrin.h>
+
+#include "kernels/kernel_registry.hpp"
+
+namespace xconv::kernels {
+
+namespace {
+
+constexpr int kMaxAcc = 12;
+
+class Avx2ConvKernel final : public ConvMicrokernel {
+ public:
+  explicit Avx2ConvKernel(const jit::ConvKernelDesc& d) : ConvMicrokernel(d) {}
+
+  void run(const float* in, const float* wt, float* out, const float*,
+           const float*, const float*) const override {
+    const auto& d = desc_;
+    const int ocs = d.out_col_stride > 0 ? d.out_col_stride : 8;
+    __m256 acc[kMaxAcc] = {};
+    const int na = d.rbp * d.rbq;
+    if (d.beta0) {
+      for (int i = 0; i < na; ++i) acc[i] = _mm256_setzero_ps();
+    } else {
+      for (int p = 0; p < d.rbp; ++p)
+        for (int q = 0; q < d.rbq; ++q)
+          acc[p * d.rbq + q] = _mm256_loadu_ps(
+              out + static_cast<std::size_t>(p) * d.out_row_stride + q * ocs);
+    }
+    for (int cb = 0; cb < d.c_blocks; ++cb) {
+    const float* in_b = in + static_cast<std::size_t>(cb) * d.in_cb_stride;
+    const float* wt_b = wt + static_cast<std::size_t>(cb) * d.wt_cb_stride;
+    for (int r = 0; r < d.r; ++r) {
+      for (int s = 0; s < d.s; ++s) {
+        const float* wrs = wt_b + (static_cast<std::size_t>(r) * d.s + s) * 64;
+        for (int c = 0; c < d.c_iters; ++c) {
+          const __m256 wv = _mm256_loadu_ps(wrs + c * 8);
+          for (int p = 0; p < d.rbp; ++p) {
+            const float* irow =
+                in_b + static_cast<std::size_t>(p * d.stride_h + r) *
+                         d.in_row_stride;
+            for (int q = 0; q < d.rbq; ++q) {
+              const __m256 b =
+                  _mm256_set1_ps(irow[(q * d.stride_w + s) * 8 + c]);
+              acc[p * d.rbq + q] =
+                  _mm256_fmadd_ps(wv, b, acc[p * d.rbq + q]);
+            }
+          }
+        }
+      }
+    }
+    }
+    if (d.fuse_relu) {
+      const __m256 z = _mm256_setzero_ps();
+      for (int i = 0; i < na; ++i) acc[i] = _mm256_max_ps(acc[i], z);
+    }
+    for (int p = 0; p < d.rbp; ++p)
+      for (int q = 0; q < d.rbq; ++q)
+        _mm256_storeu_ps(
+            out + static_cast<std::size_t>(p) * d.out_row_stride + q * ocs,
+            acc[p * d.rbq + q]);
+  }
+
+  Backend backend() const override { return Backend::compiled; }
+};
+
+}  // namespace
+
+std::unique_ptr<ConvMicrokernel> make_conv_avx2(const jit::ConvKernelDesc& d) {
+  if (d.vlen != 8 || d.rbp * d.rbq > kMaxAcc) return nullptr;
+  return std::make_unique<Avx2ConvKernel>(d);
+}
+
+}  // namespace xconv::kernels

@@ -1,0 +1,83 @@
+// Compiled AVX-512 microkernels: the same computation the JIT emits, written
+// with intrinsics. This is the "static compilation" alternative the paper
+// contrasts with JIT-ing (Section I) — blocking bounds are runtime values
+// here, so the compiler cannot fully specialize; the JIT-vs-compiled ablation
+// bench quantifies the gap.
+#include <immintrin.h>
+
+#include "kernels/kernel_registry.hpp"
+
+namespace xconv::kernels {
+
+namespace {
+
+constexpr int kMaxAcc = 28;
+
+class Avx512ConvKernel final : public ConvMicrokernel {
+ public:
+  explicit Avx512ConvKernel(const jit::ConvKernelDesc& d) : ConvMicrokernel(d) {}
+
+  void run(const float* in, const float* wt, float* out, const float* pf_in,
+           const float*, const float*) const override {
+    const auto& d = desc_;
+    const int ocs = d.out_col_stride > 0 ? d.out_col_stride : 16;
+    __m512 acc[kMaxAcc] = {};
+    const int na = d.rbp * d.rbq;
+    if (d.beta0) {
+      for (int i = 0; i < na; ++i) acc[i] = _mm512_setzero_ps();
+    } else {
+      for (int p = 0; p < d.rbp; ++p)
+        for (int q = 0; q < d.rbq; ++q)
+          acc[p * d.rbq + q] = _mm512_loadu_ps(
+              out + static_cast<std::size_t>(p) * d.out_row_stride + q * ocs);
+    }
+    for (int cb = 0; cb < d.c_blocks; ++cb) {
+    const float* in_b = in + static_cast<std::size_t>(cb) * d.in_cb_stride;
+    const float* wt_b = wt + static_cast<std::size_t>(cb) * d.wt_cb_stride;
+    for (int r = 0; r < d.r; ++r) {
+      for (int s = 0; s < d.s; ++s) {
+        const float* wrs = wt_b + (static_cast<std::size_t>(r) * d.s + s) * 256;
+        for (int c = 0; c < d.c_iters; ++c) {
+          const __m512 wv = _mm512_loadu_ps(wrs + c * 16);
+          for (int p = 0; p < d.rbp; ++p) {
+            const float* irow =
+                in_b + static_cast<std::size_t>(p * d.stride_h + r) *
+                         d.in_row_stride;
+            for (int q = 0; q < d.rbq; ++q) {
+              const __m512 b = _mm512_set1_ps(
+                  irow[(q * d.stride_w + s) * 16 + c]);
+              acc[p * d.rbq + q] =
+                  _mm512_fmadd_ps(wv, b, acc[p * d.rbq + q]);
+            }
+          }
+        }
+      }
+      if (d.prefetch && pf_in != nullptr)
+        _mm_prefetch(reinterpret_cast<const char*>(
+                         pf_in + static_cast<std::size_t>(r) * d.in_row_stride),
+                     _MM_HINT_T1);
+    }
+    }
+    if (d.fuse_relu) {
+      const __m512 z = _mm512_setzero_ps();
+      for (int i = 0; i < na; ++i) acc[i] = _mm512_max_ps(acc[i], z);
+    }
+    for (int p = 0; p < d.rbp; ++p)
+      for (int q = 0; q < d.rbq; ++q)
+        _mm512_storeu_ps(
+            out + static_cast<std::size_t>(p) * d.out_row_stride + q * ocs,
+            acc[p * d.rbq + q]);
+  }
+
+  Backend backend() const override { return Backend::compiled; }
+};
+
+}  // namespace
+
+std::unique_ptr<ConvMicrokernel> make_conv_avx512(
+    const jit::ConvKernelDesc& d) {
+  if (d.vlen != 16 || d.rbp * d.rbq > kMaxAcc) return nullptr;
+  return std::make_unique<Avx512ConvKernel>(d);
+}
+
+}  // namespace xconv::kernels

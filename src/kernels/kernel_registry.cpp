@@ -1,0 +1,148 @@
+#include "kernels/kernel_registry.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace xconv::kernels {
+
+namespace {
+
+class JitConvKernel final : public ConvMicrokernel {
+ public:
+  explicit JitConvKernel(const jit::ConvKernelDesc& d)
+      : ConvMicrokernel(d), k_(jit::generate_conv_kernel(d)) {}
+
+  void run(const float* in, const float* wt, float* out, const float* pf_in,
+           const float* pf_wt, const float* pf_out) const override {
+    (*k_)(in, wt, out, pf_in, pf_wt, pf_out);
+  }
+  Backend backend() const override { return Backend::jit; }
+
+ private:
+  std::unique_ptr<jit::ConvKernel> k_;
+};
+
+class JitUpdKernel final : public UpdMicrokernel {
+ public:
+  explicit JitUpdKernel(const jit::UpdKernelDesc& d)
+      : UpdMicrokernel(d), k_(jit::generate_upd_kernel(d)) {}
+
+  void run(const float* in, const float* dout, float* dw, const float* pf_in,
+           const float* pf_dout, const float* pf_dw) const override {
+    (*k_)(in, dout, dw, pf_in, pf_dout, pf_dw);
+  }
+  Backend backend() const override { return Backend::jit; }
+
+ private:
+  std::unique_ptr<jit::UpdKernel> k_;
+};
+
+bool isa_is_simd(platform::Isa isa) {
+  return isa == platform::Isa::avx2 || isa == platform::Isa::avx512 ||
+         isa == platform::Isa::avx512_vnni;
+}
+
+bool host_supports(platform::Isa isa) {
+  return static_cast<int>(platform::max_isa()) >= static_cast<int>(isa);
+}
+
+std::unique_ptr<ConvMicrokernel> build_conv(const jit::ConvKernelDesc& d,
+                                            BackendPref pref) {
+  const bool simd_ok = isa_is_simd(d.isa) && host_supports(d.isa);
+  switch (pref) {
+    case BackendPref::jit:
+      if (!simd_ok)
+        throw std::invalid_argument("JIT backend needs a SIMD ISA the host supports");
+      return std::make_unique<JitConvKernel>(d);
+    case BackendPref::compiled: {
+      std::unique_ptr<ConvMicrokernel> k;
+#if XCONV_BUILD_AVX512
+      if (d.vlen == 16 && simd_ok) k = make_conv_avx512(d);
+#endif
+#if XCONV_BUILD_AVX2
+      if (!k && d.vlen == 8 && simd_ok) k = make_conv_avx2(d);
+#endif
+      if (!k) k = make_conv_scalar(d);
+      return k;
+    }
+    case BackendPref::scalar:
+      return make_conv_scalar(d);
+    case BackendPref::auto_pick:
+      break;
+  }
+  if (simd_ok) return std::make_unique<JitConvKernel>(d);
+  return build_conv(d, BackendPref::compiled);
+}
+
+std::unique_ptr<UpdMicrokernel> build_upd(const jit::UpdKernelDesc& d,
+                                          BackendPref pref) {
+  const bool simd_ok = isa_is_simd(d.isa) && host_supports(d.isa);
+  switch (pref) {
+    case BackendPref::jit:
+      if (!simd_ok)
+        throw std::invalid_argument("JIT backend needs a SIMD ISA the host supports");
+      return std::make_unique<JitUpdKernel>(d);
+    case BackendPref::compiled:
+    case BackendPref::scalar:
+      return make_upd_scalar(d);
+    case BackendPref::auto_pick:
+      break;
+  }
+  if (simd_ok) return std::make_unique<JitUpdKernel>(d);
+  return make_upd_scalar(d);
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::jit: return "jit";
+    case Backend::compiled: return "compiled";
+    case Backend::scalar: return "scalar";
+  }
+  return "unknown";
+}
+
+BackendPref backend_pref_from_env() {
+  if (const char* v = std::getenv("XCONV_BACKEND")) {
+    if (std::strcmp(v, "jit") == 0) return BackendPref::jit;
+    if (std::strcmp(v, "compiled") == 0) return BackendPref::compiled;
+    if (std::strcmp(v, "scalar") == 0) return BackendPref::scalar;
+  }
+  return BackendPref::auto_pick;
+}
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry r;
+  return r;
+}
+
+const ConvMicrokernel* KernelRegistry::conv(const jit::ConvKernelDesc& desc,
+                                            BackendPref pref) {
+  const std::string key =
+      desc.key() + "#" + std::to_string(static_cast<int>(pref));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conv_.find(key);
+  if (it == conv_.end())
+    it = conv_.emplace(key, build_conv(desc, pref)).first;
+  return it->second.get();
+}
+
+const UpdMicrokernel* KernelRegistry::upd(const jit::UpdKernelDesc& desc,
+                                          BackendPref pref) {
+  const std::string key =
+      desc.key() + "#" + std::to_string(static_cast<int>(pref));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = upd_.find(key);
+  if (it == upd_.end())
+    it = upd_.emplace(key, build_upd(desc, pref)).first;
+  return it->second.get();
+}
+
+std::size_t KernelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conv_.size() + upd_.size();
+}
+
+}  // namespace xconv::kernels

@@ -1,0 +1,65 @@
+// Microkernel factory + cache.
+//
+// `KernelRegistry` resolves a kernel descriptor to an executable microkernel,
+// JIT-compiling on first use and caching by descriptor key — the paper's
+// "runtime and on-demand driven compiling infrastructure" that tames the
+// combinatorial explosion of (layer shape x blocking x variant x fusion)
+// kernels (Sections I, II-H). The cache is shared process-wide and guarded by
+// a mutex; kernels are immutable after creation so lookups race-free after
+// insertion.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "kernels/microkernel.hpp"
+#include "platform/cpu.hpp"
+
+namespace xconv::kernels {
+
+/// Preferred backend resolution: `auto_pick` = JIT when the ISA supports it,
+/// otherwise compiled intrinsics, otherwise scalar. Explicit values force a
+/// family (used by tests and the backend ablation).
+enum class BackendPref { auto_pick, jit, compiled, scalar };
+
+BackendPref backend_pref_from_env();  ///< honors XCONV_BACKEND
+
+class KernelRegistry {
+ public:
+  /// Process-wide instance.
+  static KernelRegistry& instance();
+
+  /// Resolve a forward microkernel. For Backend::scalar any vlen is accepted;
+  /// JIT/compiled require the desc's ISA/vlen pairing to be valid.
+  const ConvMicrokernel* conv(const jit::ConvKernelDesc& desc,
+                              BackendPref pref = BackendPref::auto_pick);
+
+  /// Resolve a weight-update microkernel.
+  const UpdMicrokernel* upd(const jit::UpdKernelDesc& desc,
+                            BackendPref pref = BackendPref::auto_pick);
+
+  /// Number of distinct kernels JIT'ed/instantiated so far (for tests and
+  /// the "kernels generated" statistics the benches print).
+  std::size_t size() const;
+
+ private:
+  KernelRegistry() = default;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<ConvMicrokernel>> conv_;
+  std::unordered_map<std::string, std::unique_ptr<UpdMicrokernel>> upd_;
+};
+
+// Backend constructors (exposed for direct use in tests/ablation benches).
+std::unique_ptr<ConvMicrokernel> make_conv_scalar(const jit::ConvKernelDesc&);
+std::unique_ptr<UpdMicrokernel> make_upd_scalar(const jit::UpdKernelDesc&);
+std::unique_ptr<ConvMicrokernel> make_conv_jit(const jit::ConvKernelDesc&);
+std::unique_ptr<UpdMicrokernel> make_upd_jit(const jit::UpdKernelDesc&);
+// Compiled intrinsics backends; return nullptr when the TU was not built for
+// the requested ISA.
+std::unique_ptr<ConvMicrokernel> make_conv_avx512(const jit::ConvKernelDesc&);
+std::unique_ptr<ConvMicrokernel> make_conv_avx2(const jit::ConvKernelDesc&);
+
+}  // namespace xconv::kernels

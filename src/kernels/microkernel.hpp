@@ -1,0 +1,53 @@
+// Backend-neutral microkernel handles. The convolution drivers in src/core
+// call microkernels through this interface so the same driver runs:
+//   * the runtime-JIT'ed kernels (the paper's contribution),
+//   * compiled intrinsics kernels (portable cross-check, and the unit of the
+//     JIT-vs-compiled ablation), and
+//   * scalar kernels (correctness oracle, any vlen).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "jit/conv_kernel_gen.hpp"
+#include "jit/upd_kernel_gen.hpp"
+
+namespace xconv::kernels {
+
+/// Which implementation family backs a microkernel.
+enum class Backend { jit, compiled, scalar };
+
+const char* backend_name(Backend b);
+
+/// Forward-convolution microkernel handle (see jit/conv_kernel_gen.hpp for
+/// the computation one invocation performs).
+class ConvMicrokernel {
+ public:
+  virtual ~ConvMicrokernel() = default;
+  virtual void run(const float* in, const float* wt, float* out,
+                   const float* pf_in, const float* pf_wt,
+                   const float* pf_out) const = 0;
+  virtual Backend backend() const = 0;
+  const jit::ConvKernelDesc& desc() const { return desc_; }
+
+ protected:
+  explicit ConvMicrokernel(const jit::ConvKernelDesc& d) : desc_(d) {}
+  jit::ConvKernelDesc desc_;
+};
+
+/// Weight-update microkernel handle (see jit/upd_kernel_gen.hpp).
+class UpdMicrokernel {
+ public:
+  virtual ~UpdMicrokernel() = default;
+  virtual void run(const float* in, const float* dout, float* dw,
+                   const float* pf_in, const float* pf_dout,
+                   const float* pf_dw) const = 0;
+  virtual Backend backend() const = 0;
+  const jit::UpdKernelDesc& desc() const { return desc_; }
+
+ protected:
+  explicit UpdMicrokernel(const jit::UpdKernelDesc& d) : desc_(d) {}
+  jit::UpdKernelDesc desc_;
+};
+
+}  // namespace xconv::kernels

@@ -1,0 +1,94 @@
+// Scalar reference microkernels: plain loops with exactly the semantics the
+// JIT emits, for any vlen. These are the correctness oracle for every other
+// backend and the only backend available on non-x86 hosts.
+#include "kernels/kernel_registry.hpp"
+
+namespace xconv::kernels {
+
+namespace {
+
+class ScalarConvKernel final : public ConvMicrokernel {
+ public:
+  explicit ScalarConvKernel(const jit::ConvKernelDesc& d) : ConvMicrokernel(d) {}
+
+  void run(const float* in, const float* wt, float* out, const float*,
+           const float*, const float*) const override {
+    const auto& d = desc_;
+    const int v = d.vlen;
+    const int ocs = d.out_col_stride > 0 ? d.out_col_stride : v;
+    for (int p = 0; p < d.rbp; ++p) {
+      for (int q = 0; q < d.rbq; ++q) {
+        float* o = out + (static_cast<std::size_t>(p) * d.out_row_stride +
+                          static_cast<std::size_t>(q) * ocs);
+        if (d.beta0)
+          for (int k = 0; k < v; ++k) o[k] = 0.0f;
+        for (int cb = 0; cb < d.c_blocks; ++cb) {
+          const float* in_cb = in + static_cast<std::size_t>(cb) * d.in_cb_stride;
+          const float* wt_cb = wt + static_cast<std::size_t>(cb) * d.wt_cb_stride;
+          for (int r = 0; r < d.r; ++r) {
+            for (int s = 0; s < d.s; ++s) {
+              const float* irow =
+                  in_cb + (static_cast<std::size_t>(p * d.stride_h + r) *
+                               d.in_row_stride +
+                           static_cast<std::size_t>(q * d.stride_w + s) * v);
+              const float* wrs =
+                  wt_cb + (static_cast<std::size_t>(r) * d.s + s) * v * v;
+              for (int c = 0; c < d.c_iters; ++c) {
+                const float x = irow[c];
+                const float* wv = wrs + static_cast<std::size_t>(c) * v;
+                for (int k = 0; k < v; ++k) o[k] += x * wv[k];
+              }
+            }
+          }
+        }
+        if (d.fuse_relu)
+          for (int k = 0; k < v; ++k) o[k] = o[k] > 0.0f ? o[k] : 0.0f;
+      }
+    }
+  }
+
+  Backend backend() const override { return Backend::scalar; }
+};
+
+class ScalarUpdKernel final : public UpdMicrokernel {
+ public:
+  explicit ScalarUpdKernel(const jit::UpdKernelDesc& d) : UpdMicrokernel(d) {}
+
+  void run(const float* in, const float* dout, float* dw, const float*,
+           const float*, const float*) const override {
+    const auto& d = desc_;
+    const int v = d.vlen;
+    if (d.beta0)
+      for (int i = 0; i < v * v; ++i) dw[i] = 0.0f;
+    for (int p = 0; p < d.bp; ++p) {
+      for (int q = 0; q < d.bq; ++q) {
+        const float* irow =
+            in + (static_cast<std::size_t>(p * d.stride_h) * d.in_row_stride +
+                  static_cast<std::size_t>(q * d.stride_w) * v);
+        const float* dov = dout + (static_cast<std::size_t>(p) *
+                                       d.out_row_stride +
+                                   static_cast<std::size_t>(q) * v);
+        for (int c = 0; c < v; ++c) {
+          float* dwrow = dw + static_cast<std::size_t>(c) * v;
+          const float x = irow[c];
+          for (int k = 0; k < v; ++k) dwrow[k] += x * dov[k];
+        }
+      }
+    }
+  }
+
+  Backend backend() const override { return Backend::scalar; }
+};
+
+}  // namespace
+
+std::unique_ptr<ConvMicrokernel> make_conv_scalar(
+    const jit::ConvKernelDesc& d) {
+  return std::make_unique<ScalarConvKernel>(d);
+}
+
+std::unique_ptr<UpdMicrokernel> make_upd_scalar(const jit::UpdKernelDesc& d) {
+  return std::make_unique<ScalarUpdKernel>(d);
+}
+
+}  // namespace xconv::kernels

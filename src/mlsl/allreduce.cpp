@@ -1,0 +1,74 @@
+#include "mlsl/allreduce.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace xconv::mlsl {
+
+Communicator::Communicator(int ranks) : ranks_(ranks) {
+  if (ranks < 1) throw std::invalid_argument("Communicator: ranks < 1");
+  barrier_ = std::make_unique<std::barrier<>>(ranks_);
+  scratch_.resize(ranks_);
+}
+
+Communicator::~Communicator() = default;
+
+void Communicator::parallel(const std::function<void(int)>& fn) {
+  if (ranks_ == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> ts;
+  ts.reserve(ranks_);
+  std::exception_ptr err;
+  for (int r = 0; r < ranks_; ++r)
+    ts.emplace_back([&, r]() {
+      try {
+        fn(r);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    });
+  for (auto& t : ts) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+void Communicator::barrier() {
+  if (ranks_ > 1) barrier_->arrive_and_wait();
+}
+
+void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
+                                 std::size_t n) {
+  if (ranks_ == 1) return;
+  const int R = ranks_;
+  // Chunk layout: R near-equal chunks.
+  auto chunk_begin = [&](int c) { return n * c / R; };
+  auto chunk_end = [&](int c) { return n * (c + 1) / R; };
+
+  // Reduce-scatter: step s, rank r adds its (r - s - 1)-th chunk into the
+  // next rank's buffer... implemented shared-memory style: each rank owns
+  // chunk r and accumulates all other ranks' chunk-r data into its buffer.
+  // Traffic equivalence with ring reduce-scatter: (R-1)/R * n per rank.
+  barrier();
+  for (int step = 0; step < R - 1; ++step) {
+    const int src = (rank + step + 1) % R;
+    const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
+    const float* other = bufs[src];
+    float* mine = bufs[rank];
+    for (std::size_t i = b; i < e; ++i) mine[i] += other[i];
+    barrier();
+  }
+  // Allgather: every rank copies the reduced owner-chunks from their owners.
+  for (int c = 0; c < R; ++c) {
+    if (c == rank) continue;
+    const std::size_t b = chunk_begin(c), e = chunk_end(c);
+    std::memcpy(bufs[rank] + b, bufs[c] + b, (e - b) * sizeof(float));
+  }
+  barrier();
+  if (rank == 0)
+    last_bytes_ = 2 * (static_cast<std::size_t>(R) - 1) * n * sizeof(float) /
+                  static_cast<std::size_t>(R);
+}
+
+}  // namespace xconv::mlsl

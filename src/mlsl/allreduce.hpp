@@ -1,0 +1,46 @@
+// In-process data-parallel communication substrate standing in for Intel
+// MLSL (DESIGN.md substitution; paper Section II-L / III-C). Ranks are
+// threads sharing an address space; the allreduce is a real chunked
+// ring-allreduce (reduce-scatter + allgather) with the same traffic pattern
+// a multi-node MLSL run performs, so gradient averaging across simulated
+// nodes is numerically and structurally faithful.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace xconv::mlsl {
+
+class Communicator {
+ public:
+  explicit Communicator(int ranks);
+  ~Communicator();
+
+  int ranks() const { return ranks_; }
+
+  /// Run `fn(rank)` on all ranks concurrently (fork-join).
+  void parallel(const std::function<void(int)>& fn);
+
+  /// Ring allreduce (sum) over per-rank buffers of `n` floats. `bufs[r]` is
+  /// rank r's gradient buffer; on return every buffer holds the sum. Must be
+  /// called from within `parallel` by every rank with the same arguments.
+  void allreduce_sum(int rank, std::vector<float*>& bufs, std::size_t n);
+
+  /// Rank barrier (callable from within `parallel`).
+  void barrier();
+
+  /// Bytes moved per rank by the last allreduce (2*(R-1)/R * n * 4).
+  std::size_t last_bytes_per_rank() const { return last_bytes_; }
+
+ private:
+  int ranks_;
+  std::unique_ptr<std::barrier<>> barrier_;
+  std::vector<std::vector<float>> scratch_;
+  std::size_t last_bytes_ = 0;
+};
+
+}  // namespace xconv::mlsl

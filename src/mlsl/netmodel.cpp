@@ -1,0 +1,42 @@
+#include "mlsl/netmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xconv::mlsl {
+
+double NetworkModel::allreduce_seconds(std::size_t bytes, int nodes) const {
+  if (nodes <= 1) return 0.0;
+  // Ring allreduce: 2*(R-1) steps, each moving bytes/R per link, plus the
+  // per-message latency of each step.
+  const double r = static_cast<double>(nodes);
+  const double volume = 2.0 * (r - 1.0) / r * static_cast<double>(bytes);
+  const double bw_time = volume / (link_bandwidth_gbs * 1e9);
+  const double lat_time =
+      2.0 * (r - 1.0) * chunk_messages * latency_us * 1e-6;
+  return bw_time + lat_time;
+}
+
+ScalingPoint project_scaling(const ScalingConfig& cfg, int nodes) {
+  ScalingPoint pt;
+  pt.nodes = nodes;
+  const double t_compute =
+      cfg.local_minibatch / (cfg.single_node_img_s * cfg.comm_core_penalty);
+  const double t_ar = cfg.net.allreduce_seconds(cfg.gradient_bytes, nodes);
+  const double overlap_window = cfg.backward_fraction * t_compute;
+  const double exposed = std::max(0.0, t_ar - overlap_window);
+  const double sync = nodes > 1 ? cfg.sync_overhead_frac *
+                                      std::log2(static_cast<double>(nodes)) *
+                                      t_compute
+                                : 0.0;
+  const double t_iter = t_compute + exposed + sync;
+  pt.images_per_second = nodes * cfg.local_minibatch / t_iter;
+  pt.parallel_efficiency =
+      pt.images_per_second /
+      (nodes * cfg.single_node_img_s * cfg.comm_core_penalty);
+  pt.allreduce_ms = t_ar * 1e3;
+  pt.exposed_comm_ms = exposed * 1e3;
+  return pt;
+}
+
+}  // namespace xconv::mlsl

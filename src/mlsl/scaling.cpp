@@ -1,0 +1,59 @@
+#include "mlsl/scaling.hpp"
+
+#include "platform/timer.hpp"
+
+namespace xconv::mlsl {
+
+MultiNodeTrainer::MultiNodeTrainer(const std::vector<gxm::NodeSpec>& topology,
+                                   int nodes, const gxm::GraphOptions& opt)
+    : nodes_(nodes), comm_(nodes) {
+  graphs_.reserve(nodes_);
+  for (int r = 0; r < nodes_; ++r) {
+    gxm::GraphOptions o = opt;
+    o.seed = opt.seed + 1000003u * static_cast<unsigned>(r);  // distinct data
+    graphs_.push_back(std::make_unique<gxm::Graph>(topology, o));
+  }
+  const std::size_t ge = graphs_[0]->grad_elems();
+  grad_bufs_.assign(nodes_, std::vector<float>(ge, 0.0f));
+}
+
+MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
+  MultiNodeStats st;
+  st.nodes = nodes_;
+  st.iterations = iters;
+  const std::size_t ge = graphs_[0]->grad_elems();
+  const int batch = graphs_[0]->input()->tops[0]->shape.n;
+  std::vector<float*> bufs(nodes_);
+  for (int r = 0; r < nodes_; ++r) bufs[r] = grad_bufs_[r].data();
+
+  platform::Timer t;
+  for (int it = 0; it < iters; ++it) {
+    comm_.parallel([&](int rank) {
+      gxm::Graph& g = *graphs_[rank];
+      g.forward(true);
+      // Backward propagation, then the weight-gradient (UPD) computation;
+      // the allreduce averages gradients across nodes before every rank
+      // applies the identical SGD step (replicas stay in sync).
+      for (const gxm::Task& task : g.bwd_schedule()) task.node->backward();
+      for (const gxm::Task& task : g.upd_schedule())
+        task.node->compute_grads();
+      g.export_grads(bufs[rank]);
+      comm_.allreduce_sum(rank, bufs, ge);
+      const float inv = 1.0f / static_cast<float>(nodes_);
+      for (std::size_t i = 0; i < ge; ++i) bufs[rank][i] *= inv;
+      g.import_grads(bufs[rank]);
+      for (const gxm::Task& task : g.upd_schedule())
+        task.node->apply_update(solver);
+    });
+    st.last_loss = graphs_[0]->loss();
+  }
+  st.seconds = t.seconds();
+  st.images_per_second =
+      st.seconds > 0
+          ? static_cast<double>(iters) * batch * nodes_ / st.seconds
+          : 0;
+  st.allreduce_bytes_per_rank = comm_.last_bytes_per_rank();
+  return st;
+}
+
+}  // namespace xconv::mlsl

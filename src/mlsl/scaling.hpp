@@ -1,0 +1,45 @@
+// Multi-node data-parallel training harness: N simulated nodes (ranks), each
+// with its own Graph replica, training synchronously with gradient averaging
+// through the ring allreduce — the execution structure behind Figure 9.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gxm/graph.hpp"
+#include "gxm/parser.hpp"
+#include "mlsl/allreduce.hpp"
+
+namespace xconv::mlsl {
+
+struct MultiNodeStats {
+  int nodes = 0;
+  int iterations = 0;
+  double seconds = 0;
+  double images_per_second = 0;  ///< aggregate across nodes
+  float last_loss = 0;           ///< rank-0 loss
+  std::size_t allreduce_bytes_per_rank = 0;
+};
+
+class MultiNodeTrainer {
+ public:
+  /// Builds `nodes` graph replicas from the same topology (identical initial
+  /// weights — node construction is deterministic) with per-rank data seeds.
+  MultiNodeTrainer(const std::vector<gxm::NodeSpec>& topology, int nodes,
+                   const gxm::GraphOptions& opt);
+
+  /// Synchronous data-parallel SGD: every iteration each rank runs
+  /// fwd + bwd, gradients are allreduce-averaged, then every rank applies
+  /// the same update — replicas stay bit-wise in sync.
+  MultiNodeStats train(int iters, const gxm::Solver& solver);
+
+  gxm::Graph& rank_graph(int r) { return *graphs_[r]; }
+
+ private:
+  int nodes_;
+  Communicator comm_;
+  std::vector<std::unique_ptr<gxm::Graph>> graphs_;
+  std::vector<std::vector<float>> grad_bufs_;
+};
+
+}  // namespace xconv::mlsl

@@ -1,0 +1,56 @@
+// CPU feature detection for runtime ISA dispatch.
+//
+// The JIT (src/jit) emits AVX-512 or AVX2 machine code at runtime, so the
+// binary itself is ISA-portable; this module decides which code path a given
+// machine may execute. Detection follows the standard CPUID leaves and also
+// verifies OS support for the wide register state via XGETBV (an OS that does
+// not context-switch ZMM state must not be handed AVX-512 code).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xconv::platform {
+
+/// Instruction-set tiers the library can target, ordered from least to most
+/// capable. Dispatch picks the highest tier supported by CPU, OS and any
+/// user override (see `isa_from_env`).
+enum class Isa : int {
+  scalar = 0,       ///< plain C++ loops, no SIMD assumption
+  avx2 = 1,         ///< AVX2 + FMA, 256-bit, VLEN(fp32) = 8
+  avx512 = 2,       ///< AVX-512 F/BW/VL, 512-bit, VLEN(fp32) = 16
+  avx512_vnni = 3,  ///< AVX-512 + VNNI (int16 dot-product accumulate)
+};
+
+/// Feature summary of the executing CPU.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512vnni = false;
+  bool os_avx = false;     ///< OS saves YMM state (XCR0)
+  bool os_avx512 = false;  ///< OS saves ZMM/opmask state (XCR0)
+  std::string vendor;
+  std::string brand;
+};
+
+/// Query CPUID/XGETBV once and cache the result.
+const CpuFeatures& cpu_features();
+
+/// Highest ISA tier the hardware + OS support.
+Isa max_isa();
+
+/// Effective ISA: `max_isa()` clamped by the `XCONV_ISA` environment variable
+/// (values: "scalar", "avx2", "avx512", "avx512_vnni"). Unknown values are
+/// ignored. The override can only lower the tier, never raise it.
+Isa effective_isa();
+
+/// SIMD lane count for fp32 at the given ISA tier (1 / 8 / 16).
+int vlen_fp32(Isa isa);
+
+/// Human-readable tier name ("avx512", ...).
+const char* isa_name(Isa isa);
+
+}  // namespace xconv::platform

@@ -1,0 +1,59 @@
+// Roofline platform models for the two testbeds the paper evaluates
+// (Section III): a Skylake-SP Xeon 8180 socket and a Knights Mill Xeon Phi
+// 7295, plus a model for the executing host.
+//
+// The paper explains the per-layer efficiency differences between SKX and KNM
+// (Figures 4 vs 6) with per-core L2-bandwidth rooflines: a KNM core sustains
+// 54.4 GB/s L2 read at 192 GFLOPS peak while an SKX core sustains 147 GB/s at
+// 147 GFLOPS, so 1x1 convolutions (low operational intensity) are L2-bound on
+// KNM (~55% of peak) but near compute-bound on SKX (~70%). We use these models
+// to (a) annotate measured results with %-of-peak and (b) project the paper's
+// SKX/KNM efficiency shapes for Figures 6/7 on hardware we do not have.
+#pragma once
+
+#include <string>
+
+#include "core/conv_params.hpp"
+
+namespace xconv::platform {
+
+/// Which training pass a roofline query refers to; the passes differ in
+/// operational intensity and in pass-specific overheads (Section III).
+enum class Pass { fwd, bwd, upd };
+
+/// Analytic machine model: per-core compute peak plus L2/memory bandwidths.
+/// Numbers for SKX/KNM are the ones stated in the paper (Section III-B).
+struct PlatformModel {
+  std::string name;
+  int cores = 1;
+  double peak_gflops_core = 0;  ///< fp32 FMA peak per core [GFLOPS]
+  double l2_read_gbs = 0;       ///< per-core L2 read bandwidth [GB/s]
+  double l2_write_gbs = 0;      ///< per-core L2 write bandwidth [GB/s]
+  double mem_bw_gbs = 0;        ///< socket STREAM triad bandwidth [GB/s]
+  bool shared_llc = true;       ///< SKX has a shared LLC; KNM does not
+
+  double peak_gflops() const { return peak_gflops_core * cores; }
+
+  /// Attainable GFLOPS (whole chip) for a kernel with the given operational
+  /// intensities against L2 traffic: min(compute roof, read roof, write roof).
+  /// `oi_read` / `oi_write` are flops per byte of L2 read / write traffic.
+  double attainable_gflops(double oi_read, double oi_write) const;
+
+  /// Project the efficiency (fraction of peak) of one convolution pass using
+  /// the paper's traffic model for the blocked direct-convolution kernels
+  /// (weights resident, input read + output read/write per microkernel).
+  /// This reproduces the Fig. 4/6 shapes: high for 3x3, L2-bound for 1x1 on
+  /// KNM, degraded for stride-2 bwd and for upd (reduction traffic).
+  double project_efficiency(const core::ConvParams& p, Pass pass) const;
+};
+
+/// Paper testbed models and a best-effort model of the executing host.
+const PlatformModel& skx_model();
+const PlatformModel& knm_model();
+PlatformModel host_model();
+
+/// Measure the host's sustained fp32 FMA peak (GFLOPS, single thread) with a
+/// short register-resident loop; used to report %-of-peak for measured runs.
+double measure_host_peak_gflops_core();
+
+}  // namespace xconv::platform

@@ -1,0 +1,45 @@
+#include "platform/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace xconv::platform {
+
+BenchStats time_runs(const std::function<void()>& fn, int runs, int warmup) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (int i = 0; i < runs; ++i) {
+    Timer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  BenchStats s;
+  s.runs = runs;
+  if (samples.empty()) return s;
+  s.min_s = *std::min_element(samples.begin(), samples.end());
+  s.max_s = *std::max_element(samples.begin(), samples.end());
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean_s = sum / samples.size();
+  double var = 0;
+  for (double v : samples) var += (v - s.mean_s) * (v - s.mean_s);
+  s.stddev_s = samples.size() > 1 ? std::sqrt(var / (samples.size() - 1)) : 0;
+  return s;
+}
+
+namespace {
+int env_int(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int x = std::atoi(v);
+    if (x > 0) return x;
+  }
+  return fallback;
+}
+}  // namespace
+
+int bench_runs(int fallback) { return env_int("XCONV_BENCH_RUNS", fallback); }
+int bench_minibatch(int fallback) { return env_int("XCONV_MB", fallback); }
+
+}  // namespace xconv::platform

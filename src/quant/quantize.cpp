@@ -1,0 +1,80 @@
+#include "quant/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xconv::quant {
+
+float compute_scale(const float* x, std::size_t n) {
+  float amax = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) amax = std::max(amax, std::abs(x[i]));
+  return amax > 0.0f ? amax / static_cast<float>(kQMax) : 1.0f;
+}
+
+std::int16_t quantize_one(float x, float scale) {
+  const float q = std::nearbyint(x / scale);
+  const float c = std::clamp(q, -32768.0f, 32767.0f);
+  return static_cast<std::int16_t>(c);
+}
+
+QActTensor quantize_act(const tensor::ActTensor& src) {
+  QActTensor q;
+  q.n = src.n();
+  q.cb = src.blocks();
+  q.hp = src.hp();
+  q.wp = src.wp();
+  q.v = src.vlen();
+  q.pad_h = src.pad_h();
+  q.pad_w = src.pad_w();
+  q.scale = compute_scale(src.data(), src.size());
+  q.buf.resize(src.size());
+  const float* s = src.data();
+  for (std::size_t i = 0; i < src.size(); ++i)
+    q.buf[i] = quantize_one(s[i], q.scale);
+  return q;
+}
+
+QWtTensor quantize_wt(const tensor::WtTensor& src) {
+  QWtTensor q;
+  q.kb = src.outer();
+  q.cb = src.inner();
+  q.r = src.r();
+  q.s = src.s();
+  q.v = src.vlen();
+  q.scale = compute_scale(src.data(), src.size());
+  q.buf.resize(src.size());
+  const int v = q.v;
+  for (int kb = 0; kb < q.kb; ++kb)
+    for (int cb = 0; cb < q.cb; ++cb)
+      for (int r = 0; r < q.r; ++r)
+        for (int s = 0; s < q.s; ++s)
+          for (int c = 0; c < v; ++c)
+            for (int k = 0; k < v; ++k)
+              q.el(kb, cb, r, s, c / 2, k, c % 2) =
+                  quantize_one(src.el(kb, cb, r, s, c, k), q.scale);
+  return q;
+}
+
+QWtTensor quantize_wt_bwd(const tensor::WtTensor& f) {
+  QWtTensor q;
+  q.kb = f.inner();  // dual: outer blocks index C
+  q.cb = f.outer();
+  q.r = f.r();
+  q.s = f.s();
+  q.v = f.vlen();
+  q.scale = compute_scale(f.data(), f.size());
+  q.buf.resize(f.size());
+  const int v = q.v, R = q.r, S = q.s;
+  // Dual entry (cb_out=c-block, kb_in=k-block, flipped taps, rows k, lanes c).
+  for (int kb = 0; kb < f.outer(); ++kb)
+    for (int cb = 0; cb < f.inner(); ++cb)
+      for (int r = 0; r < R; ++r)
+        for (int s = 0; s < S; ++s)
+          for (int c = 0; c < v; ++c)
+            for (int k = 0; k < v; ++k)
+              q.el(cb, kb, R - 1 - r, S - 1 - s, k / 2, c, k % 2) =
+                  quantize_one(f.el(kb, cb, r, s, c, k), q.scale);
+  return q;
+}
+
+}  // namespace xconv::quant

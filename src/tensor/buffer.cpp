@@ -1,0 +1,18 @@
+#include "tensor/buffer.hpp"
+
+#include <cstdlib>
+
+namespace xconv::tensor {
+
+void* aligned_malloc(std::size_t bytes) {
+  // Round up to a multiple of the alignment as std::aligned_alloc requires.
+  constexpr std::size_t kAlign = 64;
+  const std::size_t rounded = (bytes + kAlign - 1) / kAlign * kAlign;
+  void* p = std::aligned_alloc(kAlign, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void aligned_free(void* p) noexcept { std::free(p); }
+
+}  // namespace xconv::tensor

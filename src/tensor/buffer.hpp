@@ -1,0 +1,76 @@
+// Cache-line aligned, size-tracked flat buffers. Every tensor in the library
+// sits on one of these; 64-byte alignment is required by the AVX-512 kernels'
+// aligned loads and keeps accumulator blocks split across the fewest lines.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace xconv::tensor {
+
+/// Allocate `bytes` with 64-byte alignment; throws std::bad_alloc.
+void* aligned_malloc(std::size_t bytes);
+void aligned_free(void* p) noexcept;
+
+template <class T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { resize(n); }
+  AlignedBuffer(const AlignedBuffer& other) { *this = other; }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      resize(other.size_);
+      if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+    }
+    return *this;
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~AlignedBuffer() { aligned_free(data_); }
+
+  void resize(std::size_t n) {
+    if (n == size_) return;
+    aligned_free(data_);
+    data_ = nullptr;
+    size_ = 0;
+    if (n > 0) {
+      data_ = static_cast<T*>(aligned_malloc(n * sizeof(T)));
+      size_ = n;
+    }
+  }
+
+  void fill(T v) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = v;
+  }
+  void zero() {
+    if (size_ > 0) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xconv::tensor

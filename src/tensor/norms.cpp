@@ -1,0 +1,43 @@
+#include "tensor/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace xconv::tensor {
+
+namespace {
+template <class T>
+ErrorNorms compare_impl(const T* ref, const T* test, std::size_t n) {
+  ErrorNorms e;
+  e.count = n;
+  double sum_abs2 = 0, sum_ref2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ref[i], t = test[i];
+    const double d = std::abs(r - t);
+    e.linf_abs = std::max(e.linf_abs, d);
+    sum_abs2 += d * d;
+    sum_ref2 += r * r;
+    if (std::abs(r) > 1e-30) e.linf_rel = std::max(e.linf_rel, d / std::abs(r));
+  }
+  e.l2_abs = std::sqrt(sum_abs2);
+  e.l2_rel = sum_ref2 > 0 ? std::sqrt(sum_abs2 / sum_ref2) : e.l2_abs;
+  return e;
+}
+}  // namespace
+
+ErrorNorms compare(const float* ref, const float* test, std::size_t n) {
+  return compare_impl(ref, test, n);
+}
+ErrorNorms compare(const double* ref, const double* test, std::size_t n) {
+  return compare_impl(ref, test, n);
+}
+
+std::string ErrorNorms::to_string() const {
+  std::ostringstream os;
+  os << "Linf_abs=" << linf_abs << " L2_abs=" << l2_abs
+     << " Linf_rel=" << linf_rel << " L2_rel=" << l2_rel << " n=" << count;
+  return os.str();
+}
+
+}  // namespace xconv::tensor

@@ -1,0 +1,29 @@
+// Error norms for validating optimized kernels against references. The
+// paper's artifact appendix reports exactly these four: Linf and L2 of the
+// absolute error, and Linf and L2 of the relative error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace xconv::tensor {
+
+struct ErrorNorms {
+  double linf_abs = 0;
+  double l2_abs = 0;
+  double linf_rel = 0;
+  double l2_rel = 0;
+  std::size_t count = 0;
+
+  std::string to_string() const;
+  /// True when all norms are within the given absolute/relative bounds.
+  bool within(double abs_tol, double rel_tol) const {
+    return linf_abs <= abs_tol || linf_rel <= rel_tol;
+  }
+};
+
+/// Compare `test` against `ref` element-wise (both length n).
+ErrorNorms compare(const float* ref, const float* test, std::size_t n);
+ErrorNorms compare(const double* ref, const double* test, std::size_t n);
+
+}  // namespace xconv::tensor

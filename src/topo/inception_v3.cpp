@@ -1,0 +1,83 @@
+#include "topo/inception_v3.hpp"
+
+namespace xconv::topo {
+
+const std::vector<InceptionConv>& inception_v3_convs() {
+  // {block, C, K, H, W, R, S, stride, pad_h, pad_w, count}
+  static const std::vector<InceptionConv> t = {
+      // Stem
+      {"stem_1a", 3, 32, 299, 299, 3, 3, 2, 0, 0, 1},
+      {"stem_2a", 32, 32, 149, 149, 3, 3, 1, 0, 0, 1},
+      {"stem_2b", 32, 64, 147, 147, 3, 3, 1, 1, 1, 1},
+      {"stem_3b", 64, 80, 73, 73, 1, 1, 1, 0, 0, 1},
+      {"stem_4a", 80, 192, 73, 73, 3, 3, 1, 0, 0, 1},
+      // Mixed 5b/5c/5d (35x35): 1x1 / 5x5 / double-3x3 / pool-proj branches
+      {"mixed5_1x1", 192, 64, 35, 35, 1, 1, 1, 0, 0, 2},
+      {"mixed5_1x1", 256, 64, 35, 35, 1, 1, 1, 0, 0, 3},
+      {"mixed5_1x1", 288, 64, 35, 35, 1, 1, 1, 0, 0, 3},
+      {"mixed5_5x5red", 192, 48, 35, 35, 1, 1, 1, 0, 0, 1},
+      {"mixed5_5x5red", 256, 48, 35, 35, 1, 1, 1, 0, 0, 1},
+      {"mixed5_5x5red", 288, 48, 35, 35, 1, 1, 1, 0, 0, 1},
+      {"mixed5_5x5", 48, 64, 35, 35, 5, 5, 1, 2, 2, 3},
+      {"mixed5_3x3a", 64, 96, 35, 35, 3, 3, 1, 1, 1, 3},
+      {"mixed5_3x3b", 96, 96, 35, 35, 3, 3, 1, 1, 1, 3},
+      {"mixed5_pool", 192, 32, 35, 35, 1, 1, 1, 0, 0, 1},
+      // Mixed 6a (35 -> 17 reduction)
+      {"mixed6a_3x3", 288, 384, 35, 35, 3, 3, 2, 0, 0, 1},
+      {"mixed6a_red", 288, 64, 35, 35, 1, 1, 1, 0, 0, 1},
+      {"mixed6a_3x3", 64, 96, 35, 35, 3, 3, 1, 1, 1, 1},
+      {"mixed6a_dbl", 96, 96, 35, 35, 3, 3, 2, 0, 0, 1},
+      // Mixed 6b..6e (17x17): factorized 1x7 / 7x1 chains
+      {"mixed6_1x1", 768, 192, 17, 17, 1, 1, 1, 0, 0, 10},
+      {"mixed6_red", 768, 128, 17, 17, 1, 1, 1, 0, 0, 2},
+      {"mixed6_red", 768, 160, 17, 17, 1, 1, 1, 0, 0, 4},
+      {"mixed6_red", 768, 192, 17, 17, 1, 1, 1, 0, 0, 2},
+      // 6b (c7 = 128): branch7x7 = 1x7 + 7x1->192; dbl = 7x1,1x7,7x1,1x7->192
+      {"mixed6_1x7", 128, 128, 17, 17, 1, 7, 1, 0, 3, 2},
+      {"mixed6_7x1", 128, 128, 17, 17, 7, 1, 1, 3, 0, 2},
+      {"mixed6_1x7", 128, 192, 17, 17, 1, 7, 1, 0, 3, 1},
+      {"mixed6_7x1", 128, 192, 17, 17, 7, 1, 1, 3, 0, 1},
+      // 6c + 6d (c7 = 160), two modules
+      {"mixed6_1x7", 160, 160, 17, 17, 1, 7, 1, 0, 3, 4},
+      {"mixed6_7x1", 160, 160, 17, 17, 7, 1, 1, 3, 0, 4},
+      {"mixed6_1x7", 160, 192, 17, 17, 1, 7, 1, 0, 3, 2},
+      {"mixed6_7x1", 160, 192, 17, 17, 7, 1, 1, 3, 0, 2},
+      // 6e (c7 = 192)
+      {"mixed6_1x7", 192, 192, 17, 17, 1, 7, 1, 0, 3, 4},
+      {"mixed6_7x1", 192, 192, 17, 17, 7, 1, 1, 3, 0, 4},
+      // Mixed 7a (17 -> 8 reduction)
+      {"mixed7a_3x3", 192, 320, 17, 17, 3, 3, 2, 0, 0, 1},
+      {"mixed7a_dbl", 192, 192, 17, 17, 3, 3, 2, 0, 0, 1},
+      // Mixed 7b/7c (8x8): 1x3 / 3x1 split branches
+      {"mixed7_1x1", 1280, 320, 8, 8, 1, 1, 1, 0, 0, 1},
+      {"mixed7_1x1", 2048, 320, 8, 8, 1, 1, 1, 0, 0, 1},
+      {"mixed7_red", 1280, 384, 8, 8, 1, 1, 1, 0, 0, 1},
+      {"mixed7_red", 2048, 384, 8, 8, 1, 1, 1, 0, 0, 1},
+      {"mixed7_1x3", 384, 384, 8, 8, 1, 3, 1, 0, 1, 4},
+      {"mixed7_3x1", 384, 384, 8, 8, 3, 1, 1, 1, 0, 4},
+      {"mixed7_4a", 1280, 448, 8, 8, 1, 1, 1, 0, 0, 1},
+      {"mixed7_4a", 2048, 448, 8, 8, 1, 1, 1, 0, 0, 1},
+      {"mixed7_4b", 448, 384, 8, 8, 3, 3, 1, 1, 1, 2},
+      {"mixed7_pool", 1280, 192, 8, 8, 1, 1, 1, 0, 0, 1},
+      {"mixed7_pool", 2048, 192, 8, 8, 1, 1, 1, 0, 0, 1},
+  };
+  return t;
+}
+
+core::ConvParams inception_params(const InceptionConv& l, int minibatch) {
+  core::ConvParams p;
+  p.N = minibatch;
+  p.C = l.C;
+  p.K = l.K;
+  p.H = l.H;
+  p.W = l.W;
+  p.R = l.R;
+  p.S = l.S;
+  p.stride_h = p.stride_w = l.stride;
+  p.pad_h = l.pad_h;
+  p.pad_w = l.pad_w;
+  p.validate();
+  return p;
+}
+
+}  // namespace xconv::topo

@@ -1,0 +1,24 @@
+// Inception-v3 convolution shapes (Szegedy et al., CVPR 2016 — the paper's
+// second kernel-benchmark topology). The table lists every distinct
+// convolution shape of the 299x299 network with its multiplicity, including
+// the asymmetric 1x7 / 7x1 factorized filters, so topology-average GFLOPS
+// (Section III-A/B) weight each shape by its occurrence count.
+#pragma once
+
+#include <vector>
+
+#include "core/conv_params.hpp"
+
+namespace xconv::topo {
+
+struct InceptionConv {
+  const char* block;  ///< which Inception module the shape comes from
+  int C, K, H, W, R, S, stride, pad_h, pad_w;
+  int count;          ///< occurrences across the full topology
+};
+
+const std::vector<InceptionConv>& inception_v3_convs();
+
+core::ConvParams inception_params(const InceptionConv& l, int minibatch);
+
+}  // namespace xconv::topo

@@ -1,0 +1,122 @@
+#include "topo/resnet50.hpp"
+
+#include <sstream>
+
+namespace xconv::topo {
+
+const std::vector<LayerSpec>& resnet50_table1() {
+  // Paper Table I, verbatim.
+  static const std::vector<LayerSpec> t = {
+      {1, 3, 64, 224, 224, 7, 7, 2},     {2, 64, 256, 56, 56, 1, 1, 1},
+      {3, 64, 64, 56, 56, 1, 1, 1},      {4, 64, 64, 56, 56, 3, 3, 1},
+      {5, 256, 64, 56, 56, 1, 1, 1},     {6, 256, 512, 56, 56, 1, 1, 2},
+      {7, 256, 128, 56, 56, 1, 1, 2},    {8, 128, 128, 28, 28, 3, 3, 1},
+      {9, 128, 512, 28, 28, 1, 1, 1},    {10, 512, 128, 28, 28, 1, 1, 1},
+      {11, 512, 1024, 28, 28, 1, 1, 2},  {12, 512, 256, 28, 28, 1, 1, 2},
+      {13, 256, 256, 14, 14, 3, 3, 1},   {14, 256, 1024, 14, 14, 1, 1, 1},
+      {15, 1024, 256, 14, 14, 1, 1, 1},  {16, 1024, 2048, 14, 14, 1, 1, 2},
+      {17, 1024, 512, 14, 14, 1, 1, 2},  {18, 512, 512, 7, 7, 3, 3, 1},
+      {19, 512, 2048, 7, 7, 1, 1, 1},    {20, 2048, 512, 7, 7, 1, 1, 1},
+  };
+  return t;
+}
+
+core::ConvParams table1_params(const LayerSpec& l, int minibatch) {
+  core::ConvParams p;
+  p.N = minibatch;
+  p.C = l.C;
+  p.K = l.K;
+  p.H = l.H;
+  p.W = l.W;
+  p.R = l.R;
+  p.S = l.S;
+  p.stride_h = p.stride_w = l.stride;
+  p.pad_h = (l.R - 1) / 2;
+  p.pad_w = (l.S - 1) / 2;
+  p.validate();
+  return p;
+}
+
+namespace {
+
+struct TopoWriter {
+  std::ostringstream os;
+
+  void conv(const std::string& name, const std::string& bottom, int K, int R,
+            int stride, int pad, bool bn_relu, bool bn_only = false) {
+    os << "layer { name: \"" << name << "\" type: \"Convolution\" bottom: \""
+       << bottom << "\" top: \"" << name << "\" K: " << K << " R: " << R
+       << " S: " << R << " stride: " << stride << " pad: " << pad << " }\n";
+    if (bn_relu || bn_only) {
+      os << "layer { name: \"" << name << "_bn\" type: \"BatchNorm\" bottom: \""
+         << name << "\" top: \"" << name << "_bn\" relu: "
+         << (bn_relu ? 1 : 0) << " }\n";
+    }
+  }
+
+  std::string bottleneck(const std::string& name, const std::string& bottom,
+                         int cmid, int stride, bool project) {
+    // branch2a (1x1, carries the stride) -> 2b (3x3) -> 2c (1x1, 4*cmid),
+    // each followed by BatchNorm (+ReLU except 2c); shortcut is identity or
+    // a projection conv + BN; Eltwise adds and applies the final ReLU.
+    conv(name + "_2a", bottom, cmid, 1, stride, 0, /*bn_relu=*/true);
+    conv(name + "_2b", name + "_2a_bn", cmid, 3, 1, 1, /*bn_relu=*/true);
+    conv(name + "_2c", name + "_2b_bn", 4 * cmid, 1, 1, 0, /*bn_relu=*/false,
+         /*bn_only=*/true);
+    std::string shortcut = bottom;
+    if (project) {
+      conv(name + "_1", bottom, 4 * cmid, 1, stride, 0, /*bn_relu=*/false,
+           /*bn_only=*/true);
+      shortcut = name + "_1_bn";
+    }
+    os << "layer { name: \"" << name << "\" type: \"Eltwise\" bottom: \""
+       << name << "_2c_bn\" bottom: \"" << shortcut << "\" top: \"" << name
+       << "\" relu: 1 }\n";
+    return name;
+  }
+};
+
+std::string build_resnet(int minibatch, int image_dim, int num_classes,
+                         const std::vector<int>& blocks) {
+  TopoWriter w;
+  w.os << "layer { name: \"data\" type: \"Input\" top: \"data\" minibatch: "
+       << minibatch << " channels: 3 height: " << image_dim
+       << " width: " << image_dim << " classes: " << num_classes << " }\n";
+  w.conv("conv1", "data", 64, 7, 2, 3, /*bn_relu=*/true);
+  w.os << "layer { name: \"pool1\" type: \"MaxPool\" bottom: \"conv1_bn\" "
+          "top: \"pool1\" window: 3 stride: 2 pad: 1 }\n";
+
+  std::string bottom = "pool1";
+  int cmid = 64;
+  for (std::size_t stage = 0; stage < blocks.size(); ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::string name =
+          "res" + std::to_string(stage + 2) + static_cast<char>('a' + b);
+      const int stride = (b == 0 && stage > 0) ? 2 : 1;
+      bottom = w.bottleneck(name, bottom, cmid, stride, /*project=*/b == 0);
+    }
+    cmid *= 2;
+  }
+
+  w.os << "layer { name: \"pool5\" type: \"AvgPool\" bottom: \"" << bottom
+       << "\" top: \"pool5\" global: 1 }\n";
+  w.os << "layer { name: \"fc\" type: \"InnerProduct\" bottom: \"pool5\" "
+          "top: \"fc\" K: "
+       << num_classes << " }\n";
+  w.os << "layer { name: \"loss\" type: \"SoftmaxLoss\" bottom: \"fc\" "
+          "top: \"loss\" }\n";
+  return w.os.str();
+}
+
+}  // namespace
+
+std::string resnet50_topology(int minibatch, int image_dim, int num_classes) {
+  return build_resnet(minibatch, image_dim, num_classes, {3, 4, 6, 3});
+}
+
+std::string resnet_mini_topology(int minibatch, int image_dim,
+                                 int num_classes) {
+  return build_resnet(minibatch, image_dim, num_classes, {2});
+}
+
+}  // namespace xconv::topo

@@ -1,0 +1,42 @@
+// ResNet-50 layer specifications — the paper's Table I (20 distinct
+// convolution shapes, benchmarked in Figures 4-8) and a full ResNet-50
+// topology builder for GxM end-to-end training (Figure 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/conv_params.hpp"
+
+namespace xconv::topo {
+
+/// One row of Table I.
+struct LayerSpec {
+  int id;      ///< 1..20, the paper's layer id (x-axis of Figures 4-8)
+  int C, K;    ///< input / output feature maps
+  int H, W;    ///< input spatial dims
+  int R, S;    ///< filter dims
+  int stride;
+};
+
+/// The 20 rows of Table I.
+const std::vector<LayerSpec>& resnet50_table1();
+
+/// ConvParams for a Table I row at the given minibatch (paper: 28 on SKX,
+/// 70 on KNM; benches here default to XCONV_MB). Padding follows ResNet:
+/// (R-1)/2 for the 3x3/7x7 layers, 0 for 1x1.
+core::ConvParams table1_params(const LayerSpec& l, int minibatch);
+
+/// Full ResNet-50 topology in the GxM text format (gxm/parser.hpp):
+/// conv1 -> 4 stages of bottleneck blocks [3, 4, 6, 3] -> avgpool -> fc1000
+/// -> softmax. `image_dim` scales the input resolution down for quick runs
+/// (224 = paper; 56 = fast smoke value), shrinking every stage accordingly.
+std::string resnet50_topology(int minibatch, int image_dim = 224,
+                              int num_classes = 1000);
+
+/// A reduced ResNet ("ResNet-mini": conv1 + one bottleneck stage + fc) used
+/// by convergence tests and examples where full ResNet-50 is too slow.
+std::string resnet_mini_topology(int minibatch, int image_dim = 32,
+                                 int num_classes = 10);
+
+}  // namespace xconv::topo

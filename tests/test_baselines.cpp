@@ -1,0 +1,130 @@
+// Baseline convolutions (the paper's Figure 4 comparators) vs Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "baselines/gemm_conv.hpp"
+#include "baselines/im2col_conv.hpp"
+#include "test_helpers.hpp"
+
+using namespace xconv;
+using xconv::testing::ConvProblem;
+using xconv::testing::expect_close;
+
+class Im2colShapes : public ::testing::TestWithParam<core::ConvParams> {};
+
+TEST_P(Im2colShapes, MatchesNaive) {
+  const auto p = GetParam();
+  ConvProblem pr(p, 31);
+  baselines::Im2colConv conv(p);
+  std::vector<float> out(p.output_elems());
+  conv.forward(pr.in.data(), pr.wt.data(), out.data());
+  expect_close(xconv::testing::naive_fwd(pr), out, 2e-3,
+               p.to_string().c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Im2colShapes,
+    ::testing::Values(core::make_conv(1, 16, 32, 9, 9, 3, 3, 1),
+                      core::make_conv(2, 8, 8, 8, 8, 1, 1, 1, 0),
+                      core::make_conv(1, 3, 16, 15, 15, 7, 7, 2, 3),
+                      core::make_conv(1, 16, 16, 10, 10, 3, 3, 2),
+                      core::make_conv(2, 4, 4, 6, 8, 5, 5, 1)));
+
+TEST(Im2col, ScratchFootprintIsTheOverhead) {
+  // The paper's motivation: im2col inflates the input by R*S.
+  const auto p = core::make_conv(1, 64, 64, 28, 28, 3, 3, 1);
+  baselines::Im2colConv conv(p);
+  const std::size_t input_bytes = p.input_elems() * sizeof(float);
+  EXPECT_GT(conv.scratch_bytes(), 8 * input_bytes);
+}
+
+using EngineCase = std::tuple<baselines::GemmEngine, int>;  // engine, shape id
+
+class GemmConvMatrix : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(GemmConvMatrix, MatchesNaive) {
+  const auto [engine, shape] = GetParam();
+  static const core::ConvParams shapes[] = {
+      core::make_conv(1, 16, 32, 9, 9, 3, 3, 1),
+      core::make_conv(2, 32, 16, 8, 8, 1, 1, 1, 0),
+      core::make_conv(1, 16, 16, 11, 11, 3, 3, 2),
+      core::make_conv(1, 48, 16, 7, 7, 5, 5, 1),
+  };
+  const auto p = shapes[shape];
+  ConvProblem pr(p, 32 + shape);
+
+  baselines::GemmDirectConv conv(p, engine);
+  tensor::ActTensor bin(p.N, p.C, p.H, p.W, p.pad_h, p.pad_w, 16);
+  tensor::nchw_to_blocked(pr.in.data(), bin);
+  tensor::WtTensor bwt(tensor::ceil_div(p.K, 16), tensor::ceil_div(p.C, 16),
+                       p.R, p.S, 16);
+  tensor::kcrs_to_blocked_fwd(pr.wt.data(), p.K, p.C, bwt);
+  tensor::ActTensor bout(p.N, p.K, p.P(), p.Q(), 0, 0, 16);
+  conv.forward(bin, bwt, bout);
+  std::vector<float> out(p.output_elems());
+  tensor::blocked_to_nchw(bout, out.data());
+  expect_close(xconv::testing::naive_fwd(pr), out, 2e-3,
+               baselines::gemm_engine_name(engine));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GemmConvMatrix,
+    ::testing::Combine(::testing::Values(baselines::GemmEngine::blocked,
+                                         baselines::GemmEngine::packed,
+                                         baselines::GemmEngine::ref),
+                       ::testing::Range(0, 4)));
+
+TEST(GemmConv, EngineNamesMatchPaperSeries) {
+  EXPECT_STREQ(baselines::gemm_engine_name(baselines::GemmEngine::blocked),
+               "libxsmm");
+  EXPECT_STREQ(baselines::gemm_engine_name(baselines::GemmEngine::packed),
+               "blas");
+  EXPECT_STREQ(baselines::gemm_engine_name(baselines::GemmEngine::ref),
+               "autovec");
+}
+
+TEST(GemmConv, AutovecFactory) {
+  const auto p = core::make_conv(1, 16, 16, 8, 8, 3, 3, 1);
+  auto conv = baselines::make_autovec_conv(p);
+  EXPECT_EQ(conv.engine(), baselines::GemmEngine::ref);
+}
+
+TEST(NaiveOracle, LinearityProperty) {
+  // conv(a*x) == a*conv(x): a cheap sanity property of the oracle itself.
+  const auto p = core::make_conv(1, 8, 8, 6, 6, 3, 3, 1);
+  ConvProblem pr(p, 40);
+  auto out1 = xconv::testing::naive_fwd(pr);
+  ConvProblem pr2 = pr;
+  for (auto& v : pr2.in) v *= 2.0f;
+  auto out2 = xconv::testing::naive_fwd(pr2);
+  for (std::size_t i = 0; i < out1.size(); ++i)
+    EXPECT_NEAR(out2[i], 2.0f * out1[i], 1e-4);
+}
+
+TEST(NaiveOracle, BackwardIsAdjointOfForward) {
+  // <conv(x), y> == <x, conv_bwd(y)> — the adjoint property that defines
+  // backpropagation; validates fwd and bwd oracles against each other.
+  const auto p = core::make_conv(1, 8, 8, 6, 6, 3, 3, 1);
+  ConvProblem pr(p, 41);
+  const auto out = xconv::testing::naive_fwd(pr);
+  const auto din = xconv::testing::naive_bwd(pr);
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    lhs += static_cast<double>(out[i]) * pr.dout[i];
+  for (std::size_t i = 0; i < din.size(); ++i)
+    rhs += static_cast<double>(din[i]) * pr.in[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST(NaiveOracle, UpdateIsAdjointInWeights) {
+  // <conv_w(x), y> == <w, upd(x, y)>.
+  const auto p = core::make_conv(1, 8, 8, 6, 6, 3, 3, 1);
+  ConvProblem pr(p, 42);
+  const auto out = xconv::testing::naive_fwd(pr);
+  const auto dwt = xconv::testing::naive_upd(pr);
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    lhs += static_cast<double>(out[i]) * pr.dout[i];
+  for (std::size_t i = 0; i < dwt.size(); ++i)
+    rhs += static_cast<double>(dwt[i]) * pr.wt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::abs(lhs)));
+}

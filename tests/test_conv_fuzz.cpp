@@ -1,0 +1,90 @@
+// Randomized parameter fuzzing: all three passes vs the naive oracle over a
+// reproducible sample of the convolution parameter space (channel counts
+// that are not vector multiples, rectangular filters/images, every stride /
+// padding combination the layer supports).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "test_helpers.hpp"
+
+using namespace xconv;
+using xconv::testing::ConvProblem;
+using xconv::testing::expect_close;
+
+namespace {
+
+core::ConvParams random_params(unsigned seed) {
+  std::mt19937 rng(seed);
+  auto pick = [&](std::initializer_list<int> opts) {
+    std::uniform_int_distribution<int> d(0, static_cast<int>(opts.size()) - 1);
+    return *(opts.begin() + d(rng));
+  };
+  core::ConvParams p;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    p.N = pick({1, 2, 3});
+    p.C = pick({3, 8, 16, 24, 32, 48});
+    p.K = pick({8, 16, 20, 32, 64});
+    p.H = pick({5, 7, 9, 12, 14, 17});
+    p.W = pick({5, 7, 9, 12, 14, 17});
+    p.R = pick({1, 3, 5, 7});
+    p.S = pick({1, 3, 5, 7});
+    p.stride_h = p.stride_w = pick({1, 1, 1, 2, 3});
+    if (p.R == 1 && p.S != 1) p.S = 1;  // keep 1x1 pairs consistent
+    // 1x1 kernels use zero padding (the duality constraint real CNNs obey);
+    // otherwise "same"-ish padding.
+    p.pad_h = p.R == 1 ? 0 : (p.R - 1) / 2;
+    p.pad_w = p.S == 1 ? 0 : (p.S - 1) / 2;
+    if (p.H + 2 * p.pad_h < p.R || p.W + 2 * p.pad_w < p.S) continue;
+    if (p.P() < 1 || p.Q() < 1) continue;
+    p.validate();
+    return p;
+  }
+  return core::make_conv(1, 16, 16, 8, 8, 3, 3, 1);
+}
+
+}  // namespace
+
+class ConvFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ConvFuzz, ForwardMatchesNaive) {
+  const auto p = random_params(GetParam());
+  SCOPED_TRACE(p.to_string());
+  ConvProblem pr(p, GetParam());
+  core::ConvLayer layer(p);
+  expect_close(naive_fwd(pr), layer_forward(layer, pr), 3e-3, "fuzz fwd");
+}
+
+TEST_P(ConvFuzz, BackwardMatchesNaive) {
+  const auto p = random_params(GetParam());
+  SCOPED_TRACE(p.to_string());
+  ConvProblem pr(p, GetParam() + 1000);
+  core::ConvLayer layer(p);
+  expect_close(naive_bwd(pr), layer_backward(layer, pr), 3e-3, "fuzz bwd");
+}
+
+TEST_P(ConvFuzz, UpdateMatchesNaive) {
+  const auto p = random_params(GetParam());
+  SCOPED_TRACE(p.to_string());
+  ConvProblem pr(p, GetParam() + 2000);
+  core::ConvLayer layer(p);
+  expect_close(naive_upd(pr), layer_update(layer, pr), 4e-3, "fuzz upd");
+}
+
+TEST_P(ConvFuzz, AdjointPropertyHolds) {
+  // <conv(x; W), y> == <x, conv_bwd(y; W)> through the optimized layer.
+  const auto p = random_params(GetParam());
+  SCOPED_TRACE(p.to_string());
+  ConvProblem pr(p, GetParam() + 3000);
+  core::ConvLayer layer(p);
+  const auto out = layer_forward(layer, pr);
+  const auto din = layer_backward(layer, pr);
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    lhs += static_cast<double>(out[i]) * pr.dout[i];
+  for (std::size_t i = 0; i < din.size(); ++i)
+    rhs += static_cast<double>(din[i]) * pr.in[i];
+  EXPECT_NEAR(lhs, rhs, 2e-3 * std::max(1.0, std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvFuzz, ::testing::Range(0u, 24u));

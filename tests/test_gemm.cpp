@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gemm/gemm.hpp"
+#include "test_helpers.hpp"
+
+using namespace xconv;
+using xconv::testing::random_vec;
+
+namespace {
+// Dense reference computed with doubles: out[n][m] += sum_k in[n][k]*wt[k][m].
+std::vector<float> gemm_oracle(int M, int N, int K, const std::vector<float>& a,
+                               int lda, const std::vector<float>& b, int ldb,
+                               std::vector<float> c, int ldc) {
+  for (int n = 0; n < N; ++n)
+    for (int m = 0; m < M; ++m) {
+      double acc = c[static_cast<std::size_t>(n) * ldc + m];
+      for (int k = 0; k < K; ++k)
+        acc += static_cast<double>(b[static_cast<std::size_t>(n) * ldb + k]) *
+               a[static_cast<std::size_t>(k) * lda + m];
+      c[static_cast<std::size_t>(n) * ldc + m] = static_cast<float>(acc);
+    }
+  return c;
+}
+}  // namespace
+
+using GemmShape = std::tuple<int, int, int>;  // M, N, K
+
+class GemmSweep : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmSweep, BlockedMatchesOracle) {
+  const auto [M, N, K] = GetParam();
+  const auto a = random_vec(static_cast<std::size_t>(K) * M, 1);
+  const auto b = random_vec(static_cast<std::size_t>(N) * K, 2);
+  auto c = random_vec(static_cast<std::size_t>(N) * M, 3);
+  const auto want = gemm_oracle(M, N, K, a, M, b, K, c, M);
+  gemm::gemm_blocked(M, N, K, a.data(), M, b.data(), K, c.data(), M);
+  xconv::testing::expect_close(want, c, 1e-4, "blocked");
+}
+
+TEST_P(GemmSweep, RefMatchesOracle) {
+  const auto [M, N, K] = GetParam();
+  const auto a = random_vec(static_cast<std::size_t>(K) * M, 4);
+  const auto b = random_vec(static_cast<std::size_t>(N) * K, 5);
+  auto c = random_vec(static_cast<std::size_t>(N) * M, 6);
+  const auto want = gemm_oracle(M, N, K, a, M, b, K, c, M);
+  gemm::gemm_ref(M, N, K, a.data(), M, b.data(), K, c.data(), M);
+  xconv::testing::expect_close(want, c, 1e-4, "ref");
+}
+
+TEST_P(GemmSweep, Beta0Overwrites) {
+  const auto [M, N, K] = GetParam();
+  const auto a = random_vec(static_cast<std::size_t>(K) * M, 7);
+  const auto b = random_vec(static_cast<std::size_t>(N) * K, 8);
+  std::vector<float> garbage(static_cast<std::size_t>(N) * M, 1e9f);
+  std::vector<float> zeros(garbage.size(), 0.0f);
+  const auto want = gemm_oracle(M, N, K, a, M, b, K, zeros, M);
+  auto c1 = garbage;
+  gemm::gemm_blocked_b0(M, N, K, a.data(), M, b.data(), K, c1.data(), M);
+  xconv::testing::expect_close(want, c1, 1e-4, "blocked_b0");
+  auto c2 = garbage;
+  gemm::gemm_ref_b0(M, N, K, a.data(), M, b.data(), K, c2.data(), M);
+  xconv::testing::expect_close(want, c2, 1e-4, "ref_b0");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmShape{16, 14, 16}, GemmShape{16, 1, 16},
+                      GemmShape{16, 56, 64}, GemmShape{32, 7, 16},
+                      GemmShape{8, 12, 8}, GemmShape{16, 28, 48},
+                      GemmShape{48, 5, 32}, GemmShape{17, 6, 9},  // remainder M
+                      GemmShape{1, 3, 2}, GemmShape{64, 2, 1}));
+
+TEST(Gemm, StridedLeadingDimensions) {
+  // ldc > M exercises strided output rows (the Algorithm-7 scatter form).
+  const int M = 16, N = 7, K = 16, lda = 16, ldb = 20, ldc = 48;
+  const auto a = random_vec(static_cast<std::size_t>(K) * lda, 9);
+  const auto b = random_vec(static_cast<std::size_t>(N) * ldb, 10);
+  auto c = random_vec(static_cast<std::size_t>(N) * ldc, 11);
+  const auto want = gemm_oracle(M, N, K, a, lda, b, ldb, c, ldc);
+  gemm::gemm_blocked(M, N, K, a.data(), lda, b.data(), ldb, c.data(), ldc);
+  // Compare only written cells plus verify untouched gap cells.
+  for (int n = 0; n < N; ++n) {
+    for (int m = 0; m < M; ++m)
+      EXPECT_NEAR(c[static_cast<std::size_t>(n) * ldc + m],
+                  want[static_cast<std::size_t>(n) * ldc + m], 1e-3);
+    for (int m = M; m < ldc && n < N - 1; ++m)
+      EXPECT_EQ(c[static_cast<std::size_t>(n) * ldc + m],
+                want[static_cast<std::size_t>(n) * ldc + m]);
+  }
+}

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "gxm/parser.hpp"
+
+using namespace xconv::gxm;
+
+TEST(Parser, BasicLayer) {
+  const auto nl = parse_topology(
+      R"(layer { name: "conv1" type: "Convolution" bottom: "data"
+                 top: "conv1" K: 64 R: 7 stride: 2 pad: 3 })");
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_EQ(nl[0].name, "conv1");
+  EXPECT_EQ(nl[0].type, "Convolution");
+  ASSERT_EQ(nl[0].bottoms.size(), 1u);
+  EXPECT_EQ(nl[0].bottoms[0], "data");
+  EXPECT_EQ(nl[0].geti("K", 0), 64);
+  EXPECT_EQ(nl[0].geti("stride", 1), 2);
+  EXPECT_EQ(nl[0].geti("missing", -5), -5);
+}
+
+TEST(Parser, RepeatedBottomsAccumulate) {
+  const auto nl = parse_topology(
+      R"(layer { name: "add" type: "Eltwise" bottom: "a" bottom: "b"
+                 top: "add" })");
+  ASSERT_EQ(nl[0].bottoms.size(), 2u);
+  EXPECT_EQ(nl[0].bottoms[1], "b");
+}
+
+TEST(Parser, FloatsAndInts) {
+  const auto nl = parse_topology(
+      R"(layer { name: "x" type: "Input" top: "x" lr: 0.125 n: 7
+                 decay: 1e-4 })");
+  EXPECT_DOUBLE_EQ(nl[0].getf("lr", 0), 0.125);
+  EXPECT_DOUBLE_EQ(nl[0].getf("decay", 0), 1e-4);
+  EXPECT_EQ(nl[0].geti("n", 0), 7);
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  const auto nl = parse_topology(
+      "# full-line comment\n"
+      "layer { # trailing comment\n"
+      "  name: \"a\"  type: \"Input\"\ttop: \"a\"\n"
+      "}\n\n# done\n");
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_EQ(nl[0].name, "a");
+}
+
+TEST(Parser, MultipleLayersKeepOrder) {
+  const auto nl = parse_topology(
+      R"(layer { name: "a" type: "Input" top: "a" }
+         layer { name: "b" type: "Convolution" bottom: "a" top: "b" K: 8 }
+         layer { name: "c" type: "SoftmaxLoss" bottom: "b" top: "c" })");
+  ASSERT_EQ(nl.size(), 3u);
+  EXPECT_EQ(nl[1].name, "b");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_topology("layer { name: \"a\" type: \"Input\" top: \"a\" }\n"
+                   "notalayer { }");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_topology("layer { name: \"a\" "), std::runtime_error);
+  EXPECT_THROW(parse_topology("layer { type: \"Input\" top: \"x\" }"),
+               std::runtime_error);  // missing name
+  EXPECT_THROW(parse_topology("layer { name: \"a\" top: \"x\" }"),
+               std::runtime_error);  // missing type
+  EXPECT_THROW(parse_topology("layer { name: \"unterminated }"),
+               std::runtime_error);
+  EXPECT_THROW(parse_topology("layer { name: \"a\" type: \"T\" K: abc }"),
+               std::runtime_error);
+}
+
+TEST(Parser, EmptyInputIsEmptyNetwork) {
+  EXPECT_TRUE(parse_topology("").empty());
+  EXPECT_TRUE(parse_topology("  # only comments\n").empty());
+}

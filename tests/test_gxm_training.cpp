@@ -1,0 +1,114 @@
+// End-to-end training behaviour: convergence on the synthetic task,
+// determinism, inference mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gxm/graph.hpp"
+#include "gxm/trainer.hpp"
+#include "topo/resnet50.hpp"
+
+using namespace xconv;
+using gxm::Graph;
+using gxm::GraphOptions;
+using gxm::Solver;
+using gxm::Trainer;
+
+namespace {
+GraphOptions quick_opts(unsigned seed = 1) {
+  GraphOptions o;
+  o.threads = 1;
+  o.seed = seed;
+  return o;
+}
+}  // namespace
+
+TEST(Training, LossDecreasesOnResNetMini) {
+  Graph g(gxm::parse_topology(topo::resnet_mini_topology(8, 32, 4)),
+          quick_opts());
+  Solver s;
+  s.lr = 0.01f;
+  Trainer t(g, s);
+  double first = 0, last = 0;
+  t.on_iteration = [&](int i, float loss) {
+    if (i < 5) first += loss;
+    if (i >= 35) last += loss;
+  };
+  const auto st = t.train(40);
+  EXPECT_LT(last / 5, first / 5) << "first=" << first / 5
+                                 << " last=" << last / 5;
+  EXPECT_GT(st.images_per_second, 0);
+  EXPECT_EQ(st.iterations, 40);
+}
+
+TEST(Training, AccuracyRisesAboveChance) {
+  Graph g(gxm::parse_topology(topo::resnet_mini_topology(8, 32, 4)),
+          quick_opts(3));
+  Solver s;
+  s.lr = 0.01f;
+  Trainer t(g, s);
+  t.train(30);
+  double acc = 0;
+  for (int i = 0; i < 10; ++i) {
+    g.train_step(s);
+    acc += g.top1_accuracy();
+  }
+  EXPECT_GT(acc / 10, 0.5);  // chance = 0.25 for 4 classes
+}
+
+TEST(Training, DeterministicGivenSeed) {
+  auto run = [](unsigned seed) {
+    Graph g(gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4)),
+            quick_opts(seed));
+    Solver s;
+    s.lr = 0.01f;
+    Trainer t(g, s);
+    return t.train(5).last_loss;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(Training, InferenceModeRunsWithoutTraining) {
+  Graph g(gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4)),
+          quick_opts());
+  Solver s;
+  Trainer t(g, s);
+  t.train(3);  // populate BN running stats
+  const auto st = t.inference(5);
+  EXPECT_GT(st.images_per_second, 0);
+  EXPECT_TRUE(std::isfinite(st.last_loss));
+}
+
+TEST(Training, WeightDecayShrinksWeights) {
+  Graph g(gxm::parse_topology(topo::resnet_mini_topology(2, 32, 4)),
+          quick_opts());
+  auto* conv = dynamic_cast<gxm::ConvNode*>(g.find("conv1"));
+  ASSERT_NE(conv, nullptr);
+  double norm0 = 0;
+  for (std::size_t i = 0; i < conv->weights().size(); ++i)
+    norm0 += conv->weights().data()[i] * conv->weights().data()[i];
+  Solver s;
+  s.lr = 0.05f;
+  s.momentum = 0.0f;
+  s.weight_decay = 0.5f;  // exaggerated to dominate the data gradient
+  Trainer t(g, s);
+  t.train(10);
+  double norm1 = 0;
+  for (std::size_t i = 0; i < conv->weights().size(); ++i)
+    norm1 += conv->weights().data()[i] * conv->weights().data()[i];
+  EXPECT_LT(norm1, norm0);
+}
+
+TEST(Training, MultithreadedGraphMatchesSingleThread) {
+  auto run = [](int threads) {
+    GraphOptions o = quick_opts(5);
+    o.threads = threads;
+    Graph g(gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4)), o);
+    Solver s;
+    s.lr = 0.01f;
+    Trainer t(g, s);
+    return t.train(3).last_loss;
+  };
+  EXPECT_NEAR(run(1), run(4), 2e-3);
+}

@@ -1,0 +1,297 @@
+// JIT microkernel generators vs the scalar oracle, across the blocking /
+// variant space (register blocking, strides, beta, fused ReLU, r-loop,
+// in-kernel Cb loop, scattered output columns).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "jit/conv_kernel_gen.hpp"
+#include "jit/gemm_kernel_gen.hpp"
+#include "jit/upd_kernel_gen.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "platform/cpu.hpp"
+#include "test_helpers.hpp"
+
+using namespace xconv;
+using xconv::testing::random_vec;
+
+namespace {
+
+bool host_has(platform::Isa isa) {
+  return static_cast<int>(platform::max_isa()) >= static_cast<int>(isa);
+}
+
+struct ConvCase {
+  platform::Isa isa;
+  int rbp, rbq, r, s, stride;
+  bool beta0, relu, prefetch;
+  int c_blocks = 1;
+  int ocs = 0;
+};
+
+void run_conv_case(const ConvCase& c) {
+  if (!host_has(c.isa)) GTEST_SKIP() << "host lacks the ISA";
+  jit::ConvKernelDesc d;
+  d.isa = c.isa;
+  d.vlen = platform::vlen_fp32(c.isa);
+  d.rbp = c.rbp;
+  d.rbq = c.rbq;
+  d.r = c.r;
+  d.s = c.s;
+  d.stride_h = d.stride_w = c.stride;
+  d.in_row_stride = (c.rbq * c.stride + c.s + 8) * d.vlen;
+  d.out_row_stride = (c.rbq + 4) * (c.ocs > 0 ? c.ocs : d.vlen);
+  d.out_col_stride = c.ocs;
+  d.c_iters = d.vlen;
+  d.c_blocks = c.c_blocks;
+  if (c.c_blocks > 1) {
+    d.in_cb_stride = (c.rbp * c.stride + c.r + 2) * d.in_row_stride;
+    d.wt_cb_stride = c.r * c.s * d.vlen * d.vlen;
+  }
+  d.beta0 = c.beta0;
+  d.fuse_relu = c.relu;
+  d.prefetch = c.prefetch;
+
+  const std::size_t in_sz =
+      static_cast<std::size_t>(c.c_blocks) *
+      (c.rbp * c.stride + c.r + 2) * d.in_row_stride;
+  const std::size_t wt_sz = static_cast<std::size_t>(c.c_blocks) * c.r * c.s *
+                            d.vlen * d.vlen;
+  const std::size_t out_sz =
+      static_cast<std::size_t>(c.rbp + 1) * d.out_row_stride;
+  const auto in = random_vec(in_sz, 1);
+  const auto wt = random_vec(wt_sz, 2);
+  auto out_jit = random_vec(out_sz, 3);
+  auto out_ref = out_jit;
+
+  auto k = jit::generate_conv_kernel(d);
+  (*k)(in.data(), wt.data(), out_jit.data(), in.data(), wt.data(),
+       out_jit.data());
+  auto sc = kernels::make_conv_scalar(d);
+  sc->run(in.data(), wt.data(), out_ref.data(), nullptr, nullptr, nullptr);
+  xconv::testing::expect_close(out_ref, out_jit, 1e-4, "conv kernel");
+}
+
+}  // namespace
+
+class JitConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(JitConvSweep, MatchesScalar) { run_conv_case(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Avx512, JitConvSweep,
+    ::testing::Values(
+        ConvCase{platform::Isa::avx512, 1, 14, 3, 3, 1, false, false, true},
+        ConvCase{platform::Isa::avx512, 2, 14, 3, 3, 1, true, false, true},
+        ConvCase{platform::Isa::avx512, 4, 7, 3, 3, 1, false, true, false},
+        ConvCase{platform::Isa::avx512, 1, 14, 1, 1, 1, true, false, true},
+        ConvCase{platform::Isa::avx512, 1, 12, 1, 1, 2, true, false, true},
+        ConvCase{platform::Isa::avx512, 1, 14, 7, 7, 2, true, true, true},
+        ConvCase{platform::Isa::avx512, 1, 28, 1, 1, 1, false, false, false},
+        ConvCase{platform::Isa::avx512, 1, 1, 3, 3, 1, false, false, true},
+        // in-kernel Cb loop (1x1 layers)
+        ConvCase{platform::Isa::avx512, 1, 14, 1, 1, 1, true, false, true, 4},
+        ConvCase{platform::Isa::avx512, 2, 8, 1, 1, 1, true, true, true, 3},
+        // scattered output columns (strided 1x1 backward duality)
+        ConvCase{platform::Isa::avx512, 1, 10, 1, 1, 1, true, false, true, 2,
+                 32}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Avx2, JitConvSweep,
+    ::testing::Values(
+        ConvCase{platform::Isa::avx2, 1, 12, 3, 3, 1, false, false, true},
+        ConvCase{platform::Isa::avx2, 2, 6, 3, 3, 1, true, true, true},
+        ConvCase{platform::Isa::avx2, 1, 8, 1, 1, 2, true, false, false},
+        ConvCase{platform::Isa::avx2, 1, 12, 1, 1, 1, true, false, true, 4},
+        ConvCase{platform::Isa::avx2, 1, 12, 7, 7, 2, true, false, true}));
+
+TEST(JitConv, DescValidation) {
+  jit::ConvKernelDesc d;
+  d.isa = platform::Isa::avx512;
+  d.vlen = 16;
+  d.rbp = 2;
+  d.rbq = 15;  // 30 accumulators > 28
+  d.r = d.s = 1;
+  d.in_row_stride = 256;
+  d.out_row_stride = 256;
+  d.c_iters = 16;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.rbq = 14;
+  EXPECT_NO_THROW(d.validate());
+  d.vlen = 8;  // inconsistent with avx512
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.vlen = 16;
+  d.c_blocks = 2;  // needs 1x1 + strides
+  d.r = 3;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.r = 1;
+  EXPECT_THROW(d.validate(), std::invalid_argument);  // missing cb strides
+  d.in_cb_stride = 1024;
+  d.wt_cb_stride = 256;
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(JitConv, KeyIsInjectiveOverVariants) {
+  jit::ConvKernelDesc a;
+  a.isa = platform::Isa::avx512;
+  a.vlen = 16;
+  a.rbp = 1;
+  a.rbq = 14;
+  a.r = a.s = 3;
+  a.in_row_stride = 960;
+  a.out_row_stride = 896;
+  a.c_iters = 16;
+  auto b = a;
+  b.beta0 = true;
+  auto c = a;
+  c.fuse_relu = true;
+  auto d2 = a;
+  d2.rbq = 7;
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_NE(a.key(), d2.key());
+  EXPECT_EQ(a.key(), jit::ConvKernelDesc(a).key());
+}
+
+TEST(JitConv, LargeFilterUsesLoopAndStaysSmall) {
+  if (!host_has(platform::Isa::avx512)) GTEST_SKIP();
+  jit::ConvKernelDesc d;
+  d.isa = platform::Isa::avx512;
+  d.vlen = 16;
+  d.rbp = 1;
+  d.rbq = 14;
+  d.r = d.s = 7;
+  d.stride_h = d.stride_w = 2;
+  d.in_row_stride = 40 * 16;
+  d.out_row_stride = 14 * 16;
+  d.c_iters = 16;
+  d.beta0 = true;
+  auto k = jit::generate_conv_kernel(d);
+  // A fully unrolled 7x7 would be ~(49*16*14) FMAs * ~8B = 85KB; the r-loop
+  // caps generated code well below that.
+  EXPECT_LT(k->code_size(), 40000u);
+}
+
+struct UpdCase {
+  platform::Isa isa;
+  int bp, bq, stride;
+  bool beta0;
+};
+
+class JitUpdSweep : public ::testing::TestWithParam<UpdCase> {};
+
+TEST_P(JitUpdSweep, MatchesScalar) {
+  const auto c = GetParam();
+  if (!host_has(c.isa)) GTEST_SKIP();
+  jit::UpdKernelDesc d;
+  d.isa = c.isa;
+  d.vlen = platform::vlen_fp32(c.isa);
+  d.bp = c.bp;
+  d.bq = c.bq;
+  d.stride_h = d.stride_w = c.stride;
+  d.in_row_stride = (c.bq * c.stride + 4) * d.vlen;
+  d.out_row_stride = (c.bq + 2) * d.vlen;
+  d.beta0 = c.beta0;
+
+  const std::size_t in_sz = static_cast<std::size_t>(c.bp * c.stride + 2) *
+                            d.in_row_stride;
+  const std::size_t do_sz =
+      static_cast<std::size_t>(c.bp + 1) * d.out_row_stride;
+  const auto in = random_vec(in_sz, 4);
+  const auto dout = random_vec(do_sz, 5);
+  auto dw_jit = random_vec(static_cast<std::size_t>(d.vlen) * d.vlen, 6);
+  auto dw_ref = dw_jit;
+
+  auto k = jit::generate_upd_kernel(d);
+  (*k)(in.data(), dout.data(), dw_jit.data(), in.data(), dout.data(),
+       dw_jit.data());
+  auto sc = kernels::make_upd_scalar(d);
+  sc->run(in.data(), dout.data(), dw_ref.data(), nullptr, nullptr, nullptr);
+  xconv::testing::expect_close(dw_ref, dw_jit, 1e-4, "upd kernel");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JitUpdSweep,
+    ::testing::Values(UpdCase{platform::Isa::avx512, 1, 14, 1, true},
+                      UpdCase{platform::Isa::avx512, 4, 14, 1, false},
+                      UpdCase{platform::Isa::avx512, 7, 7, 1, true},
+                      UpdCase{platform::Isa::avx512, 2, 8, 2, false},
+                      UpdCase{platform::Isa::avx512, 1, 1, 1, true},
+                      UpdCase{platform::Isa::avx2, 2, 12, 1, true},
+                      UpdCase{platform::Isa::avx2, 3, 5, 2, false}));
+
+TEST(JitUpd, DescValidation) {
+  jit::UpdKernelDesc d;
+  d.isa = platform::Isa::avx512;
+  d.vlen = 16;
+  d.bp = 1;
+  d.bq = 200;  // over the unroll cap
+  d.in_row_stride = 256;
+  d.out_row_stride = 256;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.bq = 14;
+  EXPECT_NO_THROW(d.validate());
+}
+
+struct GemmCase {
+  platform::Isa isa;
+  int n, k, ldc;
+  bool beta0;
+};
+
+class JitGemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(JitGemmSweep, MatchesOracle) {
+  const auto c = GetParam();
+  if (!host_has(c.isa)) GTEST_SKIP();
+  jit::GemmKernelDesc d;
+  d.isa = c.isa;
+  d.vlen = platform::vlen_fp32(c.isa);
+  d.n = c.n;
+  d.k = c.k;
+  d.lda = d.vlen;
+  d.ldb = c.k;
+  d.ldc = c.ldc > 0 ? c.ldc : d.vlen;
+  d.beta0 = c.beta0;
+
+  const auto a = random_vec(static_cast<std::size_t>(c.k) * d.lda, 7);
+  const auto bm = random_vec(static_cast<std::size_t>(c.n) * d.ldb, 8);
+  auto cm = random_vec(static_cast<std::size_t>(c.n) * d.ldc, 9);
+  auto want = cm;
+  for (int n = 0; n < c.n; ++n)
+    for (int m = 0; m < d.vlen; ++m) {
+      double acc = c.beta0 ? 0.0 : want[static_cast<std::size_t>(n) * d.ldc + m];
+      for (int k = 0; k < c.k; ++k)
+        acc += static_cast<double>(bm[static_cast<std::size_t>(n) * d.ldb + k]) *
+               a[static_cast<std::size_t>(k) * d.lda + m];
+      want[static_cast<std::size_t>(n) * d.ldc + m] = static_cast<float>(acc);
+    }
+  auto g = jit::generate_gemm_kernel(d);
+  (*g)(bm.data(), a.data(), cm.data());
+  for (int n = 0; n < c.n; ++n)
+    for (int m = 0; m < d.vlen; ++m)
+      EXPECT_NEAR(cm[static_cast<std::size_t>(n) * d.ldc + m],
+                  want[static_cast<std::size_t>(n) * d.ldc + m], 2e-3)
+          << n << "," << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JitGemmSweep,
+    ::testing::Values(GemmCase{platform::Isa::avx512, 14, 16, 0, true},
+                      GemmCase{platform::Isa::avx512, 28, 32, 0, false},
+                      GemmCase{platform::Isa::avx512, 1, 16, 0, true},
+                      GemmCase{platform::Isa::avx512, 7, 16, 48, false},
+                      GemmCase{platform::Isa::avx2, 12, 8, 0, true},
+                      GemmCase{platform::Isa::avx2, 6, 24, 0, false}));
+
+TEST(JitGemm, DescValidation) {
+  jit::GemmKernelDesc d;
+  d.isa = platform::Isa::avx512;
+  d.vlen = 16;
+  d.n = 40;  // over the accumulator budget
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.n = 14;
+  d.lda = 8;  // < vlen
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}

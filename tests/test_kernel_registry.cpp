@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "kernels/kernel_registry.hpp"
+#include "platform/cpu.hpp"
+#include "test_helpers.hpp"
+
+using namespace xconv;
+using kernels::Backend;
+using kernels::BackendPref;
+using xconv::testing::random_vec;
+
+namespace {
+jit::ConvKernelDesc small_desc() {
+  jit::ConvKernelDesc d;
+  d.isa = platform::max_isa() >= platform::Isa::avx512
+              ? platform::Isa::avx512
+              : platform::Isa::avx2;
+  d.vlen = platform::vlen_fp32(d.isa);
+  d.rbp = 1;
+  d.rbq = 4;
+  d.r = d.s = 3;
+  d.in_row_stride = 16 * d.vlen;
+  d.out_row_stride = 8 * d.vlen;
+  d.c_iters = d.vlen;
+  return d;
+}
+}  // namespace
+
+TEST(Registry, CachesByDescriptor) {
+  auto& reg = kernels::KernelRegistry::instance();
+  const auto d = small_desc();
+  const std::size_t before = reg.size();
+  const auto* k1 = reg.conv(d, BackendPref::auto_pick);
+  const auto* k2 = reg.conv(d, BackendPref::auto_pick);
+  EXPECT_EQ(k1, k2);  // cached, not re-JITted
+  EXPECT_GE(reg.size(), before + (k1 == k2 ? 1 : 2));
+  auto d2 = d;
+  d2.rbq = 5;
+  const auto* k3 = reg.conv(d2, BackendPref::auto_pick);
+  EXPECT_NE(k1, k3);
+}
+
+TEST(Registry, BackendPreferenceIsHonored) {
+  auto& reg = kernels::KernelRegistry::instance();
+  const auto d = small_desc();
+  EXPECT_EQ(reg.conv(d, BackendPref::scalar)->backend(), Backend::scalar);
+  if (platform::max_isa() >= platform::Isa::avx2) {
+    EXPECT_EQ(reg.conv(d, BackendPref::jit)->backend(), Backend::jit);
+    EXPECT_EQ(reg.conv(d, BackendPref::auto_pick)->backend(), Backend::jit);
+  }
+}
+
+TEST(Registry, CompiledBackendFallsBackGracefully) {
+  auto& reg = kernels::KernelRegistry::instance();
+  const auto d = small_desc();
+  const auto* k = reg.conv(d, BackendPref::compiled);
+  // Either a real compiled kernel or the scalar fallback — never null.
+  ASSERT_NE(k, nullptr);
+  EXPECT_TRUE(k->backend() == Backend::compiled ||
+              k->backend() == Backend::scalar);
+}
+
+TEST(Registry, AllBackendsAgree) {
+  auto& reg = kernels::KernelRegistry::instance();
+  const auto d = small_desc();
+  const std::size_t in_sz =
+      static_cast<std::size_t>(d.rbp + d.r + 2) * d.in_row_stride +
+      (d.rbq + d.s) * d.vlen;
+  const std::size_t out_sz =
+      static_cast<std::size_t>(d.rbp + 1) * d.out_row_stride;
+  const auto in = random_vec(in_sz, 1);
+  const auto wt = random_vec(static_cast<std::size_t>(d.r) * d.s * d.vlen *
+                                 d.vlen,
+                             2);
+  const auto base = random_vec(out_sz, 3);
+
+  std::vector<std::vector<float>> outs;
+  for (BackendPref pref :
+       {BackendPref::scalar, BackendPref::compiled, BackendPref::auto_pick}) {
+    auto out = base;
+    reg.conv(d, pref)->run(in.data(), wt.data(), out.data(), in.data(),
+                           wt.data(), out.data());
+    outs.push_back(std::move(out));
+  }
+  xconv::testing::expect_close(outs[0], outs[1], 1e-4, "scalar-vs-compiled");
+  xconv::testing::expect_close(outs[0], outs[2], 1e-4, "scalar-vs-auto");
+}
+
+TEST(Registry, UpdBackendsAgree) {
+  auto& reg = kernels::KernelRegistry::instance();
+  jit::UpdKernelDesc d;
+  d.isa = platform::max_isa() >= platform::Isa::avx512
+              ? platform::Isa::avx512
+              : platform::Isa::avx2;
+  d.vlen = platform::vlen_fp32(d.isa);
+  d.bp = 3;
+  d.bq = 5;
+  d.in_row_stride = 12 * d.vlen;
+  d.out_row_stride = 8 * d.vlen;
+
+  const auto in = random_vec(static_cast<std::size_t>(d.bp + 1) *
+                                 d.in_row_stride,
+                             4);
+  const auto dout = random_vec(static_cast<std::size_t>(d.bp + 1) *
+                                   d.out_row_stride,
+                               5);
+  const auto base = random_vec(static_cast<std::size_t>(d.vlen) * d.vlen, 6);
+  auto a = base, b = base;
+  reg.upd(d, BackendPref::scalar)
+      ->run(in.data(), dout.data(), a.data(), nullptr, nullptr, nullptr);
+  reg.upd(d, BackendPref::auto_pick)
+      ->run(in.data(), dout.data(), b.data(), in.data(), dout.data(),
+            b.data());
+  xconv::testing::expect_close(a, b, 1e-4, "upd scalar-vs-auto");
+}
+
+TEST(Registry, EnvBackendOverride) {
+  ::setenv("XCONV_BACKEND", "scalar", 1);
+  EXPECT_EQ(kernels::backend_pref_from_env(), BackendPref::scalar);
+  ::setenv("XCONV_BACKEND", "jit", 1);
+  EXPECT_EQ(kernels::backend_pref_from_env(), BackendPref::jit);
+  ::setenv("XCONV_BACKEND", "compiled", 1);
+  EXPECT_EQ(kernels::backend_pref_from_env(), BackendPref::compiled);
+  ::setenv("XCONV_BACKEND", "bogus", 1);
+  EXPECT_EQ(kernels::backend_pref_from_env(), BackendPref::auto_pick);
+  ::unsetenv("XCONV_BACKEND");
+}
+
+TEST(Registry, BackendNames) {
+  EXPECT_STREQ(kernels::backend_name(Backend::jit), "jit");
+  EXPECT_STREQ(kernels::backend_name(Backend::compiled), "compiled");
+  EXPECT_STREQ(kernels::backend_name(Backend::scalar), "scalar");
+}

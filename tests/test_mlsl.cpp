@@ -1,0 +1,141 @@
+// Simulated MLSL (Section II-L / Figure 9 substrate): ring allreduce
+// correctness, the network model, scaling projection and synchronous
+// multi-node data-parallel training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gxm/trainer.hpp"
+#include "mlsl/allreduce.hpp"
+#include "mlsl/netmodel.hpp"
+#include "mlsl/scaling.hpp"
+#include "test_helpers.hpp"
+#include "topo/resnet50.hpp"
+
+using namespace xconv;
+using xconv::testing::random_vec;
+
+class AllreduceRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceRanks, SumsMatchSerialReduction) {
+  const int R = GetParam();
+  const std::size_t n = 1537;  // not divisible by typical rank counts
+  mlsl::Communicator comm(R);
+  std::vector<std::vector<float>> data(R);
+  std::vector<float> want(n, 0.0f);
+  for (int r = 0; r < R; ++r) {
+    data[r] = random_vec(n, 100 + r);
+    for (std::size_t i = 0; i < n; ++i) want[i] += data[r][i];
+  }
+  std::vector<float*> bufs(R);
+  for (int r = 0; r < R; ++r) bufs[r] = data[r].data();
+  comm.parallel([&](int rank) { comm.allreduce_sum(rank, bufs, n); });
+  for (int r = 0; r < R; ++r)
+    xconv::testing::expect_close(want, data[r], 1e-4,
+                                 ("rank " + std::to_string(r)).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, AllreduceRanks,
+                         ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(Allreduce, TrafficMatchesRingFormula) {
+  const int R = 4;
+  const std::size_t n = 1024;
+  mlsl::Communicator comm(R);
+  std::vector<std::vector<float>> data(R, std::vector<float>(n, 1.0f));
+  std::vector<float*> bufs(R);
+  for (int r = 0; r < R; ++r) bufs[r] = data[r].data();
+  comm.parallel([&](int rank) { comm.allreduce_sum(rank, bufs, n); });
+  EXPECT_EQ(comm.last_bytes_per_rank(),
+            2 * (R - 1) * n * sizeof(float) / R);
+}
+
+TEST(Allreduce, ExceptionsPropagateFromRanks) {
+  mlsl::Communicator comm(2);
+  EXPECT_THROW(comm.parallel([](int rank) {
+                 if (rank == 1) throw std::runtime_error("rank failure");
+               }),
+               std::runtime_error);
+}
+
+TEST(NetModel, AllreduceTimeScalesWithVolumeAndNodes) {
+  mlsl::NetworkModel net;
+  const std::size_t mb100 = 100u << 20;
+  EXPECT_EQ(net.allreduce_seconds(mb100, 1), 0.0);
+  const double t2 = net.allreduce_seconds(mb100, 2);
+  const double t16 = net.allreduce_seconds(mb100, 16);
+  EXPECT_GT(t2, 0);
+  EXPECT_GT(t16, t2);
+  // Ring volume saturates at 2x the buffer: t16 < 2 * t2 + latency slack.
+  EXPECT_LT(t16, 2.5 * t2 + 1e-3);
+}
+
+TEST(Scaling, ProjectionReproducesPaperEfficiency) {
+  // Figure 9 narrative: ~90% parallel efficiency at 16 nodes for ResNet-50
+  // (25.5M parameters) with the allreduce overlapped into backprop.
+  mlsl::ScalingConfig cfg;
+  cfg.single_node_img_s = 192;          // KNM single node (paper)
+  cfg.local_minibatch = 70;
+  cfg.gradient_bytes = 25557032ull * 4;
+  cfg.comm_core_penalty = 62.0 / 70.0;  // 8 of 72 cores drive the network
+  const auto p16 = mlsl::project_scaling(cfg, 16);
+  EXPECT_GT(p16.parallel_efficiency, 0.85);
+  EXPECT_LE(p16.parallel_efficiency, 1.0 + 1e-9);
+  const auto p1 = mlsl::project_scaling(cfg, 1);
+  EXPECT_NEAR(p1.parallel_efficiency, 1.0, 1e-9);
+  // Monotone throughput growth.
+  double prev = 0;
+  for (int k : {1, 2, 4, 8, 16}) {
+    const auto pt = mlsl::project_scaling(cfg, k);
+    EXPECT_GT(pt.images_per_second, prev);
+    prev = pt.images_per_second;
+  }
+}
+
+TEST(MultiNode, ReplicasStayInSync) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::GraphOptions opt;
+  opt.threads = 1;
+  mlsl::MultiNodeTrainer mt(nl, 2, opt);
+  gxm::Solver s;
+  s.lr = 0.01f;
+  mt.train(3, s);
+  // After synchronous training with averaged gradients, both replicas hold
+  // identical weights.
+  auto* c0 = dynamic_cast<gxm::ConvNode*>(mt.rank_graph(0).find("conv1"));
+  auto* c1 = dynamic_cast<gxm::ConvNode*>(mt.rank_graph(1).find("conv1"));
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  for (std::size_t i = 0; i < c0->weights().size(); ++i)
+    ASSERT_EQ(c0->weights().data()[i], c1->weights().data()[i]) << i;
+}
+
+TEST(MultiNode, SingleRankMatchesLocalTrainer) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::GraphOptions opt;
+  opt.threads = 1;
+  opt.seed = 9;
+  gxm::Solver s;
+  s.lr = 0.01f;
+
+  mlsl::MultiNodeTrainer mt(nl, 1, opt);
+  const auto mst = mt.train(4, s);
+
+  gxm::Graph g(nl, opt);
+  gxm::Trainer t(g, s);
+  const auto st = t.train(4);
+  EXPECT_NEAR(mst.last_loss, st.last_loss, 1e-5);
+}
+
+TEST(MultiNode, LossDecreasesAcrossNodes) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::GraphOptions opt;
+  opt.threads = 1;
+  mlsl::MultiNodeTrainer mt(nl, 2, opt);
+  gxm::Solver s;
+  s.lr = 0.01f;
+  const auto first = mt.train(1, s);
+  const auto later = mt.train(20, s);
+  EXPECT_LT(later.last_loss, first.last_loss + 0.5f);  // noisy but bounded
+  EXPECT_GT(later.images_per_second, 0);
+}

@@ -1,0 +1,173 @@
+// Reduced-precision int16 kernels (Section II-K): quantization bounds, exact
+// scalar/VNNI agreement, and QConvLayer passes vs fp32 within the expected
+// quantization error.
+#include <gtest/gtest.h>
+
+#include "quant/qconv_layer.hpp"
+#include "quant/quantize.hpp"
+#include "test_helpers.hpp"
+
+using namespace xconv;
+using xconv::testing::ConvProblem;
+using xconv::testing::random_vec;
+
+TEST(Quantize, ScaleMapsAmaxToQmax) {
+  std::vector<float> v = {0.5f, -2.0f, 1.0f};
+  const float s = quant::compute_scale(v.data(), v.size());
+  EXPECT_NEAR(2.0f / s, quant::kQMax, 1e-3);
+  EXPECT_EQ(quant::quantize_one(-2.0f, s), -quant::kQMax);
+}
+
+TEST(Quantize, ZeroTensorScaleIsOne) {
+  std::vector<float> v(16, 0.0f);
+  EXPECT_EQ(quant::compute_scale(v.data(), v.size()), 1.0f);
+}
+
+TEST(Quantize, RoundTripErrorBounded) {
+  const auto v = random_vec(4096, 3);
+  const float s = quant::compute_scale(v.data(), v.size());
+  double maxerr = 0;
+  for (float x : v) {
+    const float back = quant::quantize_one(x, s) * s;
+    maxerr = std::max(maxerr, static_cast<double>(std::abs(back - x)));
+  }
+  EXPECT_LE(maxerr, 0.5001 * s);  // round-to-nearest half-ulp bound
+}
+
+TEST(Quantize, WeightPairInterleave) {
+  const auto p = core::make_conv(1, 32, 32, 4, 4, 3, 3, 1);
+  core::ConvLayer layer(p);
+  auto wt = layer.make_weights();
+  const auto dense = random_vec(p.weight_elems(), 4);
+  tensor::kcrs_to_blocked_fwd(dense.data(), p.K, p.C, wt);
+  auto q = quant::quantize_wt(wt);
+  // Pair (c0, c1) of output lane k sits at consecutive int16 slots.
+  for (int c2 = 0; c2 < 8; ++c2)
+    for (int k = 0; k < 16; ++k) {
+      EXPECT_EQ(q.el(0, 0, 1, 1, c2, k, 0),
+                quant::quantize_one(wt.el(0, 0, 1, 1, 2 * c2, k), q.scale));
+      EXPECT_EQ(q.el(0, 0, 1, 1, c2, k, 1),
+                quant::quantize_one(wt.el(0, 0, 1, 1, 2 * c2 + 1, k), q.scale));
+    }
+}
+
+namespace {
+
+struct QRun {
+  std::vector<float> fwd, bwd, upd;
+};
+
+QRun run_qconv(const core::ConvParams& p, const ConvProblem& pr,
+               bool use_vnni, int flush) {
+  core::ConvLayer ref_layer(p);  // for tensor factories
+  auto bin = ref_layer.make_input();
+  tensor::nchw_to_blocked(pr.in.data(), bin);
+  auto bwt = ref_layer.make_weights();
+  tensor::kcrs_to_blocked_fwd(pr.wt.data(), p.K, p.C, bwt);
+  auto bdout = ref_layer.make_output();
+  tensor::nchw_to_blocked(pr.dout.data(), bdout);
+
+  quant::QConvLayer q(p, 1, use_vnni, flush);
+  const auto qin = quant::quantize_act(bin);
+  const auto qwt = quant::quantize_wt(bwt);
+  const auto qdout = quant::quantize_act(bdout);
+  const auto qwt_bwd = quant::quantize_wt_bwd(bwt);
+
+  QRun out;
+  auto bout = ref_layer.make_output();
+  q.forward(qin, qwt, bout);
+  out.fwd.resize(p.output_elems());
+  tensor::blocked_to_nchw(bout, out.fwd.data());
+
+  auto bdin = ref_layer.make_input();
+  q.backward(qdout, qwt_bwd, bdin);
+  out.bwd.resize(p.input_elems());
+  tensor::blocked_to_nchw(bdin, out.bwd.data());
+
+  auto bdwt = ref_layer.make_weights();
+  q.update(qin, qdout, bdwt);
+  out.upd.resize(p.weight_elems());
+  tensor::blocked_fwd_to_kcrs(bdwt, p.K, p.C, out.upd.data());
+  return out;
+}
+
+}  // namespace
+
+class QConvShapes : public ::testing::TestWithParam<core::ConvParams> {};
+
+TEST_P(QConvShapes, ScalarTracksFp32WithinQuantError) {
+  const auto p = GetParam();
+  ConvProblem pr(p, 21);
+  const auto q = run_qconv(p, pr, /*use_vnni=*/false, 8);
+  // Quantization error: relative L2 of a few percent for 10-bit mantissas.
+  xconv::testing::expect_close(xconv::testing::naive_fwd(pr), q.fwd, 2e-2,
+                               "q fwd");
+  xconv::testing::expect_close(xconv::testing::naive_bwd(pr), q.bwd, 2e-2,
+                               "q bwd");
+  xconv::testing::expect_close(xconv::testing::naive_upd(pr), q.upd, 2e-2,
+                               "q upd");
+}
+
+TEST_P(QConvShapes, VnniMatchesScalarExactly) {
+  if (platform::max_isa() != platform::Isa::avx512_vnni)
+    GTEST_SKIP() << "host lacks AVX512-VNNI";
+  const auto p = GetParam();
+  ConvProblem pr(p, 22);
+  const auto a = run_qconv(p, pr, false, 8);
+  const auto b = run_qconv(p, pr, true, 8);
+  // Same integer arithmetic and flush points -> bit-identical fp32 results.
+  EXPECT_EQ(a.fwd, b.fwd);
+  EXPECT_EQ(a.bwd, b.bwd);
+  EXPECT_EQ(a.upd, b.upd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QConvShapes,
+    ::testing::Values(core::make_conv(1, 32, 32, 8, 8, 3, 3, 1),
+                      core::make_conv(2, 16, 32, 7, 9, 1, 1, 1, 0),
+                      core::make_conv(1, 32, 16, 8, 8, 1, 1, 2, 0),
+                      core::make_conv(1, 48, 32, 7, 7, 3, 3, 1),
+                      core::make_conv(2, 16, 16, 9, 9, 5, 5, 1)));
+
+TEST(QConv, FlushIntervalDoesNotChangeResultMuch) {
+  // Different chain restrictions reassociate the integer sums; results agree
+  // to fp32 rounding (the int32 partial sums are exact, only the fp32
+  // accumulation order changes).
+  const auto p = core::make_conv(1, 32, 32, 8, 8, 3, 3, 1);
+  ConvProblem pr(p, 23);
+  const auto a = run_qconv(p, pr, false, 2);
+  const auto b = run_qconv(p, pr, false, 64);
+  xconv::testing::expect_close(a.fwd, b.fwd, 1e-5, "flush intervals");
+}
+
+TEST(QConv, UnsupportedStridedNon1x1BackwardThrows) {
+  const auto p = core::make_conv(1, 16, 16, 9, 9, 3, 3, 2);
+  quant::QConvLayer q(p, 1, false, 8);
+  core::ConvLayer ref_layer(p);
+  auto bdout = ref_layer.make_output();
+  auto bwt = ref_layer.make_weights();
+  const auto qdout = quant::quantize_act(bdout);
+  const auto qwt_bwd = quant::quantize_wt_bwd(bwt);
+  auto bdin = ref_layer.make_input();
+  EXPECT_THROW(q.backward(qdout, qwt_bwd, bdin), std::invalid_argument);
+}
+
+TEST(QConv, BackwardRequiresDualWeights) {
+  const auto p = core::make_conv(1, 32, 16, 8, 8, 1, 1, 1, 0);
+  quant::QConvLayer q(p);
+  core::ConvLayer ref_layer(p);
+  auto bdout = ref_layer.make_output();
+  auto bwt = ref_layer.make_weights();
+  const auto qdout = quant::quantize_act(bdout);
+  const auto qwt_fwd = quant::quantize_wt(bwt);  // wrong form
+  auto bdin = ref_layer.make_input();
+  EXPECT_THROW(q.backward(qdout, qwt_fwd, bdin), std::invalid_argument);
+}
+
+TEST(QConv, OddQUpdateTailHandled) {
+  const auto p = core::make_conv(1, 16, 16, 7, 7, 3, 3, 1);  // Q = 7, odd
+  ConvProblem pr(p, 24);
+  const auto q = run_qconv(p, pr, false, 8);
+  xconv::testing::expect_close(xconv::testing::naive_upd(pr), q.upd, 2e-2,
+                               "odd-Q upd");
+}

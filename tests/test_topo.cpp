@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "gxm/parser.hpp"
+#include "topo/inception_v3.hpp"
+#include "topo/resnet50.hpp"
+
+using namespace xconv;
+
+TEST(Table1, HasTwentyLayersMatchingThePaper) {
+  const auto& t = topo::resnet50_table1();
+  ASSERT_EQ(t.size(), 20u);
+  // Spot-check rows against the printed table.
+  EXPECT_EQ(t[0].C, 3);
+  EXPECT_EQ(t[0].K, 64);
+  EXPECT_EQ(t[0].R, 7);
+  EXPECT_EQ(t[0].stride, 2);
+  EXPECT_EQ(t[10].C, 512);
+  EXPECT_EQ(t[10].K, 1024);
+  EXPECT_EQ(t[10].stride, 2);
+  EXPECT_EQ(t[19].C, 2048);
+  EXPECT_EQ(t[19].K, 512);
+  EXPECT_EQ(t[19].H, 7);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_EQ(t[i].id, static_cast<int>(i) + 1);
+}
+
+TEST(Table1, ParamsValidateAndHaveResNetOutputDims) {
+  for (const auto& l : topo::resnet50_table1()) {
+    const auto p = topo::table1_params(l, 4);
+    EXPECT_EQ(p.N, 4);
+    EXPECT_GT(p.flops(), 0u);
+    // ResNet invariant: stride-1 layers preserve spatial dims; stride-2
+    // layers halve them.
+    if (l.stride == 1) {
+      EXPECT_EQ(p.P(), l.H) << "layer " << l.id;
+    } else {
+      EXPECT_EQ(p.P(), l.H / 2) << "layer " << l.id;
+    }
+  }
+}
+
+TEST(Table1, FlopCountsMatchFormula) {
+  const auto p = topo::table1_params(topo::resnet50_table1()[3], 1);
+  // layer 4: 64->64, 56x56, 3x3 s1: 2*64*64*56*56*9
+  EXPECT_EQ(p.flops(), 2ull * 64 * 64 * 56 * 56 * 9);
+}
+
+TEST(Inception, ShapesValidateAndCountsArePlausible) {
+  const auto& t = topo::inception_v3_convs();
+  EXPECT_GE(t.size(), 30u);
+  int total = 0;
+  bool has_asymmetric = false;
+  for (const auto& l : t) {
+    const auto p = topo::inception_params(l, 2);
+    EXPECT_GT(p.flops(), 0u);
+    total += l.count;
+    if (l.R != l.S) has_asymmetric = true;
+  }
+  // Inception-v3 has ~94 convolutions in total.
+  EXPECT_GE(total, 90);
+  EXPECT_LE(total, 100);
+  EXPECT_TRUE(has_asymmetric);  // the factorized 1x7/7x1 filters
+}
+
+TEST(Topology, ResNet50TextParses) {
+  const auto nl = gxm::parse_topology(topo::resnet50_topology(2, 224, 1000));
+  // conv1 + 16 bottleneck blocks (3+4+6+3) with 3 convs each + 4 projection
+  // convs = 53 convolutions.
+  int convs = 0, eltwise = 0, bns = 0;
+  for (const auto& s : nl) {
+    if (s.type == "Convolution") ++convs;
+    if (s.type == "Eltwise") ++eltwise;
+    if (s.type == "BatchNorm") ++bns;
+  }
+  EXPECT_EQ(convs, 53);
+  EXPECT_EQ(eltwise, 16);
+  EXPECT_EQ(bns, 53);
+  EXPECT_EQ(nl.front().type, "Input");
+  EXPECT_EQ(nl.back().type, "SoftmaxLoss");
+}
+
+TEST(Topology, MiniVariantIsSmall) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 10));
+  int convs = 0;
+  for (const auto& s : nl)
+    if (s.type == "Convolution") ++convs;
+  EXPECT_EQ(convs, 1 + 2 * 3 + 1);  // conv1 + 2 blocks * 3 + 1 projection
+}
+
+TEST(Topology, StrideTwoOnlyAtStageBoundaries) {
+  const auto nl = gxm::parse_topology(topo::resnet50_topology(1, 224, 10));
+  int stride2 = 0;
+  for (const auto& s : nl)
+    if (s.type == "Convolution" && s.geti("stride", 1) == 2) ++stride2;
+  // conv1 + (2a + projection) at stages 3, 4, 5 = 1 + 3*2.
+  EXPECT_EQ(stride2, 7);
+}

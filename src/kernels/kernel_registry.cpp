@@ -118,26 +118,43 @@ KernelRegistry& KernelRegistry::instance() {
   return r;
 }
 
+namespace {
+
+// Lookup and insertion both happen under mu, but the (potentially slow) JIT
+// compile runs unlocked so concurrent first-use resolution of *different*
+// descriptors is not serialized. Two threads racing on the *same* key may both
+// build; emplace keeps the first and the loser's kernel is discarded — kernels
+// are immutable and returned pointers stay valid for the process lifetime
+// because entries are never erased.
+template <class Map, class Builder>
+auto* lookup_or_build(std::mutex& mu, Map& map, const std::string& key,
+                      Builder&& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = map.find(key);
+    if (it != map.end()) return it->second.get();
+  }
+  auto built = build();  // may throw; cache stays untouched
+  std::lock_guard<std::mutex> lock(mu);
+  return map.emplace(key, std::move(built)).first->second.get();
+}
+
+}  // namespace
+
 const ConvMicrokernel* KernelRegistry::conv(const jit::ConvKernelDesc& desc,
                                             BackendPref pref) {
   const std::string key =
       desc.key() + "#" + std::to_string(static_cast<int>(pref));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = conv_.find(key);
-  if (it == conv_.end())
-    it = conv_.emplace(key, build_conv(desc, pref)).first;
-  return it->second.get();
+  return lookup_or_build(mu_, conv_, key,
+                         [&] { return build_conv(desc, pref); });
 }
 
 const UpdMicrokernel* KernelRegistry::upd(const jit::UpdKernelDesc& desc,
                                           BackendPref pref) {
   const std::string key =
       desc.key() + "#" + std::to_string(static_cast<int>(pref));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = upd_.find(key);
-  if (it == upd_.end())
-    it = upd_.emplace(key, build_upd(desc, pref)).first;
-  return it->second.get();
+  return lookup_or_build(mu_, upd_, key,
+                         [&] { return build_upd(desc, pref); });
 }
 
 std::size_t KernelRegistry::size() const {

@@ -94,17 +94,18 @@ Isa max_isa() {
   return Isa::scalar;
 }
 
+Isa isa_clamped(const char* request, Isa ceiling) {
+  if (request == nullptr) return ceiling;
+  Isa req = ceiling;
+  if (std::strcmp(request, "scalar") == 0) req = Isa::scalar;
+  else if (std::strcmp(request, "avx2") == 0) req = Isa::avx2;
+  else if (std::strcmp(request, "avx512") == 0) req = Isa::avx512;
+  else if (std::strcmp(request, "avx512_vnni") == 0) req = Isa::avx512_vnni;
+  return static_cast<int>(req) < static_cast<int>(ceiling) ? req : ceiling;
+}
+
 Isa effective_isa() {
-  Isa isa = max_isa();
-  if (const char* env = std::getenv("XCONV_ISA")) {
-    Isa req = isa;
-    if (std::strcmp(env, "scalar") == 0) req = Isa::scalar;
-    else if (std::strcmp(env, "avx2") == 0) req = Isa::avx2;
-    else if (std::strcmp(env, "avx512") == 0) req = Isa::avx512;
-    else if (std::strcmp(env, "avx512_vnni") == 0) req = Isa::avx512_vnni;
-    if (static_cast<int>(req) < static_cast<int>(isa)) isa = req;
-  }
-  return isa;
+  return isa_clamped(std::getenv("XCONV_ISA"), max_isa());
 }
 
 int vlen_fp32(Isa isa) {

@@ -47,6 +47,14 @@ Isa max_isa();
 /// ignored. The override can only lower the tier, never raise it.
 Isa effective_isa();
 
+/// Pure clamp logic behind `effective_isa`, exposed so the downgrade rules
+/// can be tested against any (request, ceiling) pair regardless of the host:
+/// parse `request` ("scalar"/"avx2"/"avx512"/"avx512_vnni"; nullptr or an
+/// unknown string leaves the ceiling untouched) and return the lower of the
+/// requested tier and `ceiling`. Never returns a tier above `ceiling`, so an
+/// env override can never select code the CPU/OS combination cannot execute.
+Isa isa_clamped(const char* request, Isa ceiling);
+
 /// SIMD lane count for fp32 at the given ISA tier (1 / 8 / 16).
 int vlen_fp32(Isa isa);
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "kernels/kernel_registry.hpp"
 #include "platform/cpu.hpp"
@@ -126,6 +129,47 @@ TEST(Registry, EnvBackendOverride) {
   ::setenv("XCONV_BACKEND", "bogus", 1);
   EXPECT_EQ(kernels::backend_pref_from_env(), BackendPref::auto_pick);
   ::unsetenv("XCONV_BACKEND");
+}
+
+// Hammer the registry from many threads on overlapping keys: every thread
+// must observe the same kernel pointer per descriptor (first insert wins,
+// losers discarded), with no crash, deadlock, or duplicate cache entry.
+TEST(Registry, ConcurrentFirstUseResolution) {
+  auto& reg = kernels::KernelRegistry::instance();
+  constexpr int kThreads = 8;
+  constexpr int kDescs = 6;
+
+  std::vector<jit::ConvKernelDesc> descs;
+  for (int i = 0; i < kDescs; ++i) {
+    auto d = small_desc();
+    d.rbq = 8 + i;  // distinct keys, not shared with other tests
+    descs.push_back(d);
+  }
+
+  const std::size_t before = reg.size();
+  std::array<std::array<const kernels::ConvMicrokernel*, kDescs>, kThreads>
+      seen{};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 4; ++rep) {
+        for (int i = 0; i < kDescs; ++i) {
+          // Rotate start index per thread so first-use races on every key.
+          const int idx = (i + t) % kDescs;
+          seen[t][idx] = reg.conv(descs[idx], BackendPref::scalar);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int i = 0; i < kDescs; ++i) {
+    ASSERT_NE(seen[0][i], nullptr);
+    for (int t = 1; t < kThreads; ++t)
+      EXPECT_EQ(seen[0][i], seen[t][i]) << "thread " << t << " desc " << i;
+  }
+  // Exactly one cache entry per descriptor; racing losers were discarded.
+  EXPECT_EQ(reg.size(), before + kDescs);
 }
 
 TEST(Registry, BackendNames) {

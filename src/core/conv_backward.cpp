@@ -39,6 +39,30 @@ int pick_rb_bwd(int dim, int cap) {
   }
   return best;
 }
+
+// Mirror of forward's check_geometry (conv_forward.cpp): a wrong-shape
+// tensor must fail loudly instead of silently corrupting memory.
+void check_bwd_geometry(const core::ConvLayer& l,
+                        const tensor::ActTensor& grad_out,
+                        const tensor::WtTensor& wt,
+                        const tensor::ActTensor& grad_in) {
+  const core::ConvParams& p = l.params();
+  if (grad_out.n() != p.N || grad_out.channels() != p.K ||
+      grad_out.h() != p.P() || grad_out.w() != p.Q() ||
+      grad_out.pad_h() != l.out_halo_h() ||
+      grad_out.pad_w() != l.out_halo_w() || grad_out.vlen() != l.vlen())
+    throw std::invalid_argument(
+        "ConvLayer::backward: grad_out geometry mismatch (use make_output)");
+  if (grad_in.n() != p.N || grad_in.channels() != p.C || grad_in.h() != p.H ||
+      grad_in.w() != p.W || grad_in.pad_h() != l.in_halo_h() ||
+      grad_in.pad_w() != l.in_halo_w() || grad_in.vlen() != l.vlen())
+    throw std::invalid_argument(
+        "ConvLayer::backward: grad_in geometry mismatch (use make_input)");
+  if (wt.outer() != l.kb() || wt.inner() != l.cb() || wt.r() != p.R ||
+      wt.s() != p.S || wt.vlen() != l.vlen())
+    throw std::invalid_argument(
+        "ConvLayer::backward: weight geometry mismatch");
+}
 }  // namespace
 
 struct ConvLayer::BwdGemmPlan {
@@ -155,17 +179,7 @@ void ConvLayer::setup_backward() {
 void ConvLayer::backward(const tensor::ActTensor& grad_out,
                          const tensor::WtTensor& wt,
                          tensor::ActTensor& grad_in) {
-  const ConvParams& p = params_;
-  if (grad_out.n() != p.N || grad_out.channels() != p.K ||
-      grad_out.h() != p.P() || grad_out.w() != p.Q() ||
-      grad_out.pad_h() != out_pad_h_ || grad_out.pad_w() != out_pad_w_)
-    throw std::invalid_argument(
-        "ConvLayer::backward: grad_out geometry mismatch (use make_output)");
-  if (grad_in.n() != p.N || grad_in.channels() != p.C ||
-      grad_in.h() != p.H || grad_in.w() != p.W ||
-      grad_in.pad_h() != in_halo_h_ || grad_in.pad_w() != in_halo_w_)
-    throw std::invalid_argument(
-        "ConvLayer::backward: grad_in geometry mismatch (use make_input)");
+  check_bwd_geometry(*this, grad_out, wt, grad_in);
 
   // Weights change every training iteration: re-run the duality transform.
   tensor::blocked_fwd_to_bwd(wt, bwd_wt_);
@@ -188,43 +202,77 @@ void ConvLayer::backward_1x1_strided(const tensor::ActTensor& grad_out,
   // Covered pixels (multiples of the stride) are overwritten by beta0
   // kernels; every other dI pixel is zero.
   grad_in.zero();
-  const float* dout = grad_out.data();
-  const float* wtb = bwd_wt_.data();
-  float* din = grad_in.data();
+  if (opt_.use_streams && !bwd1x1_streams_.empty()) {
+    parallel_exact("ConvLayer::backward", [&](int tid) {
+      bwd1x1_streams_[tid].replay(bwd1x1_variants_, grad_out.data(),
+                                  bwd_wt_.data(), grad_in.data(), {});
+    });
+    return;
+  }
+  backward_1x1_branchy(grad_out.data(), bwd_wt_.data(), grad_in.data(),
+                       /*record_streams=*/false);
+}
+
+void ConvLayer::backward_1x1_branchy(const float* dout, const float* wtb,
+                                     float* din, bool record_streams) {
+  const ConvParams& p = params_;
   const int n_qb = bwd1x1_qfull_ + (bwd1x1_qrem_ > 0 ? 1 : 0);
   // One work item per (n, cb, oj, q-block); every item writes disjoint dI
-  // pixels (rbp = 1, distinct rows/columns).
+  // pixels (rbp = 1, distinct rows/columns), so the thread partition never
+  // affects the result.
   const std::int64_t total =
-      static_cast<std::int64_t>(params_.N) * cb_ * params_.P() * n_qb;
+      static_cast<std::int64_t>(p.N) * cb_ * p.P() * n_qb;
 
-#pragma omp parallel for num_threads(threads_) schedule(static)
-  for (std::int64_t it = 0; it < total; ++it) {
-    std::int64_t rest = it;
-    const int qb = static_cast<int>(rest % n_qb);
-    rest /= n_qb;
-    const int oj = static_cast<int>(rest % params_.P());
-    rest /= params_.P();
-    const int cbi = static_cast<int>(rest % cb_);
-    const int n = static_cast<int>(rest / cb_);
+  parallel_exact("ConvLayer::backward", [&](int tid) {
+    KernelStream* stream = record_streams ? &bwd1x1_streams_[tid] : nullptr;
+    const Range rg = thread_chunk(total, tid, threads_);
+    for (std::int64_t it = rg.begin; it < rg.end; ++it) {
+      std::int64_t rest = it;
+      const int qb = static_cast<int>(rest % n_qb);
+      rest /= n_qb;
+      const int oj = static_cast<int>(rest % p.P());
+      rest /= p.P();
+      const int cbi = static_cast<int>(rest % cb_);
+      const int n = static_cast<int>(rest / cb_);
 
-    const bool q_edge = (bwd1x1_qrem_ > 0 && qb == bwd1x1_qfull_);
-    const int oi0 = std::min(qb, bwd1x1_qfull_) * bwd1x1_rbq_;
-    const std::int64_t dout_off =
-        n * out_n_stride_ +
-        static_cast<std::int64_t>(oj + out_pad_h_) * out_row_stride_ +
-        static_cast<std::int64_t>(oi0 + out_pad_w_) * vlen_;
-    // bwd_wt_ layout is [Cb][Kb][1][1][k][c]: outer stride spans Kb blocks.
-    const std::int64_t wt_off =
-        static_cast<std::int64_t>(cbi) * bwd_wt_.stride_outer();
-    // 1x1 layers have pad == 0; the physical halo (if any consumer raised
-    // it) is handled by the logical offset() accessor.
-    const std::int64_t din_off = grad_in.offset(
-        n, cbi, oj * params_.stride_h, oi0 * params_.stride_w);
+      const bool q_edge = (bwd1x1_qrem_ > 0 && qb == bwd1x1_qfull_);
+      const int oi0 = std::min(qb, bwd1x1_qfull_) * bwd1x1_rbq_;
+      const std::int64_t dout_off =
+          n * out_n_stride_ +
+          static_cast<std::int64_t>(oj + out_pad_h_) * out_row_stride_ +
+          static_cast<std::int64_t>(oi0 + out_pad_w_) * vlen_;
+      // bwd_wt_ layout is [Cb][Kb][1][1][k][c]: outer stride spans Kb blocks.
+      const std::int64_t wt_off =
+          static_cast<std::int64_t>(cbi) * bwd_wt_.stride_outer();
+      // 1x1 layers have pad == 0; the physical halo (if any consumer raised
+      // it) shifts the scatter frame — same formula ActTensor::offset() uses.
+      const std::int64_t din_off =
+          n * in_n_stride_ + cbi * in_cb_stride_ +
+          static_cast<std::int64_t>(oj * p.stride_h + in_halo_h_) *
+              in_row_stride_ +
+          static_cast<std::int64_t>(oi0 * p.stride_w + in_halo_w_) * vlen_;
 
-    const auto* k = bwd1x1_variants_[q_edge ? 1 : 0];
-    k->run(dout + dout_off, wtb + wt_off, din + din_off, dout + dout_off,
-           wtb + wt_off, din + din_off);
-  }
+      const int v = q_edge ? 1 : 0;
+      if (stream != nullptr) {
+        stream->record_conv(static_cast<std::uint16_t>(v), dout_off, wt_off,
+                            din_off);
+      } else {
+        bwd1x1_variants_[v]->run(dout + dout_off, wtb + wt_off, din + din_off,
+                                 dout + dout_off, wtb + wt_off,
+                                 din + din_off);
+      }
+    }
+  });
+}
+
+void ConvLayer::dryrun_backward() {
+  // The stride-1 duality path needs no recording here: its dual layer owns
+  // forward streams of its own. The GEMM fallback has no stream form (its
+  // kernels take no prefetch operands) and always runs branchy.
+  if (bwd_algo_ != BwdAlgo::duality_1x1_strided) return;
+  bwd1x1_streams_.assign(threads_, KernelStream{});
+  backward_1x1_branchy(nullptr, nullptr, nullptr, /*record_streams=*/true);
+  for (auto& s : bwd1x1_streams_) s.finish();
 }
 
 void ConvLayer::backward_gemm(const tensor::ActTensor& grad_out,

@@ -44,9 +44,7 @@ void ConvLayer::forward_branchy(const float* in, const float* wt, float* out,
   const bool relu_in_kernel = (opt_.fuse == FusedOp::relu);
   const bool apply_fusion = needs_apply(opt_.fuse);
 
-#pragma omp parallel num_threads(threads_)
-  {
-    const int tid = omp_get_thread_num();
+  parallel_exact("ConvLayer::forward", [&](int tid) {
     KernelStream* stream = record_streams ? &fwd_streams_[tid] : nullptr;
 
     auto emit_conv = [&](int variant, std::int64_t in_off, std::int64_t wt_off,
@@ -126,7 +124,7 @@ void ConvLayer::forward_branchy(const float* in, const float* wt, float* out,
       }
       i += (sb_end - sb_begin);
     }
-  }
+  });
 }
 
 void ConvLayer::dryrun_forward() {
@@ -141,12 +139,10 @@ void ConvLayer::forward(const tensor::ActTensor& in,
                         const FusionArgs& fargs) {
   check_geometry(*this, in, wt, out);
   if (opt_.use_streams) {
-#pragma omp parallel num_threads(threads_)
-    {
-      const int tid = omp_get_thread_num();
+    parallel_exact("ConvLayer::forward", [&](int tid) {
       fwd_streams_[tid].replay(fwd_variants_, in.data(), wt.data(),
                                out.data(), fargs);
-    }
+    });
   } else {
     forward_branchy(in.data(), wt.data(), out.data(), fargs,
                     /*record_streams=*/false);

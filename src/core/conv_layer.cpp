@@ -45,6 +45,10 @@ ConvLayer::ConvLayer(const ConvParams& params, const ConvOptions& opt)
   if (!opt_.fwd_only) {
     setup_backward();
     setup_update();
+    if (opt_.use_streams) {
+      dryrun_backward();
+      dryrun_update();
+    }
   }
 }
 
@@ -192,9 +196,42 @@ int ConvLayer::variant_for(bool p_edge, bool q_edge, bool beta0,
   return idx;
 }
 
+void ConvLayer::parallel_exact(const char* what,
+                               const std::function<void(int)>& body) const {
+  int delivered = threads_;
+#pragma omp parallel num_threads(threads_)
+  {
+    const int nthr = omp_get_num_threads();
+#pragma omp master
+    delivered = nthr;
+    // Uniform across the team: either every member works or none does, so
+    // barriers inside `body` (update's privatization) stay lined up.
+    if (nthr == threads_) body(omp_get_thread_num());
+  }
+  if (delivered != threads_)
+    throw std::runtime_error(
+        std::string(what) + ": OpenMP delivered " +
+        std::to_string(delivered) + " threads but the layer was set up for " +
+        std::to_string(threads_) +
+        " (nested parallel region, OMP_DYNAMIC or OMP_THREAD_LIMIT?)");
+}
+
 std::size_t ConvLayer::fwd_stream_convs() const {
   std::size_t n = 0;
   for (const auto& s : fwd_streams_) n += s.n_convs();
+  return n;
+}
+
+std::size_t ConvLayer::bwd_stream_convs() const {
+  if (bwd_layer_ != nullptr) return bwd_layer_->fwd_stream_convs();
+  std::size_t n = 0;
+  for (const auto& s : bwd1x1_streams_) n += s.n_convs();
+  return n;
+}
+
+std::size_t ConvLayer::upd_stream_calls() const {
+  std::size_t n = 0;
+  for (const auto& s : upd_streams_) n += s.n_calls();
   return n;
 }
 
@@ -205,7 +242,12 @@ std::string ConvLayer::describe() const {
      << (cb_in_kernel_ ? " cb-in-kernel" : "")
      << " variants=" << fwd_variants_.size()
      << " streams=" << (opt_.use_streams ? "on" : "off");
-  if (opt_.use_streams) os << " stream_convs=" << fwd_stream_convs();
+  if (opt_.use_streams) {
+    os << " stream_convs=" << fwd_stream_convs();
+    if (!opt_.fwd_only)
+      os << " bwd_stream_convs=" << bwd_stream_convs()
+         << " upd_stream_calls=" << upd_stream_calls();
+  }
   os << " bwd=";
   switch (bwd_algo_) {
     case BwdAlgo::duality_stride1: os << "duality-s1"; break;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,7 +37,10 @@ namespace xconv::core {
 struct ConvOptions {
   platform::Isa isa = platform::effective_isa();
   kernels::BackendPref backend = kernels::backend_pref_from_env();
-  bool use_streams = true;   ///< replay kernel streams vs branchy loops
+  /// Replay kernel streams vs branchy loops, for all three passes
+  /// (backward's GEMM fallback has no stream form and stays branchy).
+  /// Default honors the XCONV_STREAMS environment variable (unset = on).
+  bool use_streams = use_streams_from_env();
   bool prefetch = true;      ///< two-level software prefetch in kernels
   FusedOp fuse = FusedOp::none;
   int threads = 0;           ///< 0 = omp_get_max_threads()
@@ -108,6 +112,11 @@ class ConvLayer {
   int out_halo_w() const { return out_pad_w_; }
   int n_fwd_variants() const { return static_cast<int>(fwd_variants_.size()); }
   std::size_t fwd_stream_convs() const;
+  /// Backward stream kernel calls: the dual layer's forward streams for the
+  /// stride-1 duality path, the 1x1-strided streams otherwise (0 when the
+  /// pass runs branchy, e.g. the GEMM fallback or use_streams=false).
+  std::size_t bwd_stream_convs() const;
+  std::size_t upd_stream_calls() const;
   UpdStrategy upd_strategy_used() const { return upd_strategy_; }
   int upd_bp() const { return upd_bp_; }
   int upd_bq() const { return upd_bq_; }
@@ -124,6 +133,8 @@ class ConvLayer {
   void dryrun_forward();
   void setup_backward();
   void setup_update();
+  void dryrun_backward();  ///< records bwd1x1_streams_ (1x1-strided path)
+  void dryrun_update();    ///< records upd_streams_ (all three strategies)
 
   // drivers
   void forward_branchy(const float* in, const float* wt, float* out,
@@ -134,6 +145,19 @@ class ConvLayer {
                      tensor::ActTensor& grad_in);
   void backward_1x1_strided(const tensor::ActTensor& grad_out,
                             tensor::ActTensor& grad_in);
+  void backward_1x1_branchy(const float* dout, const float* wtb, float* din,
+                            bool record_streams);
+  void update_branchy(const float* in, const float* dout, float* dw,
+                      bool record_streams);
+  float* upd_dw_base(int tid, float* dw);  ///< strategy-dependent target
+  /// Run `body(tid)` on exactly the `threads_`-sized team every driver and
+  /// stream was planned for. Work partitioning, per-thread streams and the
+  /// minibatch/hybrid dW privatization are all keyed to that size, so a
+  /// smaller delivered team (nested parallelism, OMP_DYNAMIC,
+  /// OMP_THREAD_LIMIT) must fail loudly instead of silently skipping work:
+  /// the body is not run and std::runtime_error is thrown.
+  void parallel_exact(const char* what,
+                      const std::function<void(int)>& body) const;
 
   ConvParams params_;
   ConvOptions opt_;
@@ -180,11 +204,15 @@ class ConvLayer {
   std::vector<const kernels::UpdMicrokernel*> upd_variants_;
   std::array<int, 8> upd_vmap_{};  ///< (p_edge, q_edge, beta0) -> variant
   int upd_pb_full_ = 0, upd_pb_rem_ = 0, upd_qb_full_ = 0, upd_qb_rem_ = 0;
+  int upd_groups_ = 0;  ///< hybrid thread-group count (0 unless hybrid)
+  std::size_t upd_dw_size_ = 0;               ///< elements of one dW copy
   tensor::AlignedBuffer<float> upd_scratch_;  ///< per-copy dW buffers
+  std::vector<KernelStream> upd_streams_;     ///< one per thread
 
   // backward 1x1-strided variants: (q_edge) -> kernel
   std::vector<const kernels::ConvMicrokernel*> bwd1x1_variants_;
   int bwd1x1_rbq_ = 0, bwd1x1_qfull_ = 0, bwd1x1_qrem_ = 0;
+  std::vector<KernelStream> bwd1x1_streams_;  ///< one per thread
 };
 
 }  // namespace xconv::core

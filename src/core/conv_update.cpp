@@ -11,6 +11,13 @@
 //                 group), task-parallel within a group.
 // The dryrun-time decision models the bandwidth trade-off the paper derives
 // (activation re-reads vs 2T extra dW volumes); see pick_upd_strategy().
+//
+// Like forward, the driver either executes directly ("branchy" mode — also
+// the dryrun recorder) or replays pre-recorded per-thread kernel streams
+// (Section II-H): UPD streaks with exact next-call prefetch offsets, plus
+// ZERO / BARRIER / REDUCE records covering the dW privatization of the
+// minibatch and hybrid strategies. Replay accumulates in the exact order of
+// the branchy driver, so both modes produce bit-identical dW.
 #include <omp.h>
 
 #include <algorithm>
@@ -33,6 +40,28 @@ int pick_block(int dim, int cap) {
     }
   }
   return best;
+}
+
+// Mirror of forward's check_geometry (conv_forward.cpp): a wrong-shape
+// tensor must fail loudly instead of silently corrupting memory.
+void check_upd_geometry(const ConvLayer& l, const tensor::ActTensor& in,
+                        const tensor::ActTensor& grad_out,
+                        const tensor::WtTensor& grad_wt) {
+  const ConvParams& p = l.params();
+  if (in.n() != p.N || in.channels() != p.C || in.h() != p.H ||
+      in.w() != p.W || in.pad_h() != l.in_halo_h() ||
+      in.pad_w() != l.in_halo_w() || in.vlen() != l.vlen())
+    throw std::invalid_argument("ConvLayer::update: input geometry mismatch");
+  if (grad_out.n() != p.N || grad_out.channels() != p.K ||
+      grad_out.h() != p.P() || grad_out.w() != p.Q() ||
+      grad_out.pad_h() != l.out_halo_h() ||
+      grad_out.pad_w() != l.out_halo_w() || grad_out.vlen() != l.vlen())
+    throw std::invalid_argument(
+        "ConvLayer::update: grad_out geometry mismatch");
+  if (grad_wt.outer() != l.kb() || grad_wt.inner() != l.cb() ||
+      grad_wt.r() != p.R || grad_wt.s() != p.S || grad_wt.vlen() != l.vlen())
+    throw std::invalid_argument(
+        "ConvLayer::update: grad_wt geometry mismatch");
 }
 }  // namespace
 
@@ -86,64 +115,44 @@ void ConvLayer::setup_update() {
         static_cast<std::int64_t>(kb_) * cb_ * p.R * p.S * vlen_ * vlen_,
         threads_);
   }
+
+  // Privatization geometry is fully known at setup: size the per-copy dW
+  // scratch arena here so branchy runs, dryrun recording and stream replay
+  // all share one allocation.
+  upd_dw_size_ = static_cast<std::size_t>(wt_kb_stride_) * kb_;
+  upd_groups_ = 0;
+  if (upd_strategy_ == UpdStrategy::hybrid) {
+    const std::int64_t tasks =
+        static_cast<std::int64_t>(kb_) * cb_ * p.R * p.S;
+    const int groups = std::min(
+        {std::max(2, threads_ / 2), p.N, static_cast<int>(tasks)});
+    // Degenerate case: hybrid needs >= 2 threads and >= 2 viable groups
+    // (each group must own a non-empty minibatch slice). upd_groups_ == 0
+    // keeps the requested strategy name but runs task-style.
+    if (threads_ >= 2 && groups >= 2) upd_groups_ = groups;
+  }
+  if (upd_strategy_ == UpdStrategy::minibatch)
+    upd_scratch_.resize(upd_dw_size_ * threads_);
+  else if (upd_groups_ > 0)
+    upd_scratch_.resize(upd_dw_size_ * upd_groups_);
 }
 
-void ConvLayer::update(const tensor::ActTensor& in,
-                       const tensor::ActTensor& grad_out,
-                       tensor::WtTensor& grad_wt) {
-  const ConvParams& p = params_;
-  if (in.n() != p.N || in.channels() != p.C || in.h() != p.H ||
-      in.w() != p.W || in.pad_h() != in_halo_h_)
-    throw std::invalid_argument("ConvLayer::update: input geometry mismatch");
-  if (grad_out.n() != p.N || grad_out.channels() != p.K ||
-      grad_out.h() != p.P() || grad_out.pad_h() != out_pad_h_)
-    throw std::invalid_argument(
-        "ConvLayer::update: grad_out geometry mismatch");
-  if (grad_wt.outer() != kb_ || grad_wt.inner() != cb_ ||
-      grad_wt.r() != p.R || grad_wt.s() != p.S)
-    throw std::invalid_argument(
-        "ConvLayer::update: grad_wt geometry mismatch");
+float* ConvLayer::upd_dw_base(int tid, float* dw) {
+  if (upd_strategy_ == UpdStrategy::minibatch)
+    return upd_scratch_.data() + upd_dw_size_ * tid;
+  if (upd_strategy_ == UpdStrategy::hybrid && upd_groups_ > 0)
+    return upd_scratch_.data() + upd_dw_size_ * (tid % upd_groups_);
+  return dw;  // task (and degenerate hybrid): the shared dW tensor
+}
 
-  const float* in_b = in.data();
-  const float* do_b = grad_out.data();
+void ConvLayer::update_branchy(const float* in_b, const float* do_b,
+                               float* dw, bool record_streams) {
+  const ConvParams& p = params_;
   const int n_pb = upd_pb_full_ + (upd_pb_rem_ > 0 ? 1 : 0);
   const int n_qb = upd_qb_full_ + (upd_qb_rem_ > 0 ? 1 : 0);
-
-  // Accumulate all pixel blocks of minibatch range [n0, n1) into `dw` for
-  // dW block (kbi, cbi, r, s). `first` selects the beta0 kernel for the
-  // first contribution.
-  auto run_block = [&](float* dw_block, int kbi, int cbi, int r, int s,
-                       int n0, int n1, bool zero_first) {
-    bool first = zero_first;
-    for (int n = n0; n < n1; ++n) {
-      for (int pjb = 0; pjb < n_pb; ++pjb) {
-        const bool p_edge = (upd_pb_rem_ > 0 && pjb == upd_pb_full_);
-        const int oj0 = std::min(pjb, upd_pb_full_) * upd_bp_;
-        for (int qib = 0; qib < n_qb; ++qib) {
-          const bool q_edge = (upd_qb_rem_ > 0 && qib == upd_qb_full_);
-          const int oi0 = std::min(qib, upd_qb_full_) * upd_bq_;
-          const std::int64_t in_off =
-              n * in_n_stride_ + cbi * in_cb_stride_ +
-              static_cast<std::int64_t>(oj0 * p.stride_h + r + in_shift_h_) *
-                  in_row_stride_ +
-              static_cast<std::int64_t>(oi0 * p.stride_w + s + in_shift_w_) *
-                  vlen_;
-          const std::int64_t do_off =
-              n * out_n_stride_ + kbi * out_kb_stride_ +
-              static_cast<std::int64_t>(oj0 + out_pad_h_) * out_row_stride_ +
-              static_cast<std::int64_t>(oi0 + out_pad_w_) * vlen_;
-          const int v = upd_vmap_[((p_edge ? 1 : 0) * 2 + (q_edge ? 1 : 0)) *
-                                      2 +
-                                  (first ? 1 : 0)];
-          upd_variants_[v]->run(in_b + in_off, do_b + do_off, dw_block,
-                                in_b + in_off, do_b + do_off, dw_block);
-          first = false;
-        }
-      }
-    }
-  };
-
   const std::int64_t tasks = static_cast<std::int64_t>(kb_) * cb_ * p.R * p.S;
+  const std::int64_t dw_size = static_cast<std::int64_t>(upd_dw_size_);
+
   auto task_coords = [&](std::int64_t t, int& kbi, int& cbi, int& r, int& s) {
     s = static_cast<int>(t % p.S);
     t /= p.S;
@@ -152,103 +161,158 @@ void ConvLayer::update(const tensor::ActTensor& in,
     cbi = static_cast<int>(t % cb_);
     kbi = static_cast<int>(t / cb_);
   };
-  const std::size_t dw_size = grad_wt.size();
+  auto dw_offset = [&](int kbi, int cbi, int r, int s) {
+    return kbi * wt_kb_stride_ + cbi * wt_cb_stride_ +
+           static_cast<std::int64_t>(r * p.S + s) * vlen_ * vlen_;
+  };
 
-  switch (upd_strategy_) {
-    case UpdStrategy::auto_pick:  // resolved at setup; unreachable
-    case UpdStrategy::task: {
-#pragma omp parallel for num_threads(threads_) schedule(static)
-      for (std::int64_t t = 0; t < tasks; ++t) {
-        int kbi, cbi, r, s;
-        task_coords(t, kbi, cbi, r, s);
-        run_block(grad_wt.at(kbi, cbi, r, s), kbi, cbi, r, s, 0, p.N,
-                  /*zero_first=*/true);
+  parallel_exact("ConvLayer::update", [&](int tid) {
+    KernelStream* stream = record_streams ? &upd_streams_[tid] : nullptr;
+    float* dw_base = upd_dw_base(tid, dw);
+
+    auto emit_upd = [&](int v, std::int64_t in_off, std::int64_t do_off,
+                        std::int64_t dw_off) {
+      if (stream != nullptr) {
+        stream->record_upd(static_cast<std::uint16_t>(v), in_off, do_off,
+                           dw_off);
+      } else {
+        // Branchy mode passes the current sub-tensors as (no-op) prefetch
+        // args — exactly the problem kernel streams solve (Section II-H).
+        upd_variants_[v]->run(in_b + in_off, do_b + do_off, dw_base + dw_off,
+                              in_b + in_off, do_b + do_off, dw_base + dw_off);
       }
-      return;
-    }
-    case UpdStrategy::minibatch: {
-      const int copies = threads_;
-      upd_scratch_.resize(dw_size * copies);
-#pragma omp parallel num_threads(threads_)
-      {
-        const int tid = omp_get_thread_num();
-        float* my = upd_scratch_.data() + dw_size * tid;
-        const Range nr = thread_chunk(p.N, tid, threads_);
-        if (nr.empty()) {
-          std::memset(my, 0, dw_size * sizeof(float));
-        } else {
-          for (std::int64_t t = 0; t < tasks; ++t) {
-            int kbi, cbi, r, s;
-            task_coords(t, kbi, cbi, r, s);
-            float* blk = my + grad_wt.offset(kbi, cbi, r, s);
-            run_block(blk, kbi, cbi, r, s, static_cast<int>(nr.begin),
-                      static_cast<int>(nr.end), /*zero_first=*/true);
+    };
+
+    // Accumulate every pixel block of minibatch range [n0, n1) into the dW
+    // block (kbi, cbi, r, s) at dw_off; the first contribution selects the
+    // beta0 kernel, so each covered block is fully overwritten.
+    auto accumulate = [&](std::int64_t dw_off, int kbi, int cbi, int r, int s,
+                          int n0, int n1) {
+      bool first = true;
+      for (int n = n0; n < n1; ++n) {
+        for (int pjb = 0; pjb < n_pb; ++pjb) {
+          const bool p_edge = (upd_pb_rem_ > 0 && pjb == upd_pb_full_);
+          const int oj0 = std::min(pjb, upd_pb_full_) * upd_bp_;
+          for (int qib = 0; qib < n_qb; ++qib) {
+            const bool q_edge = (upd_qb_rem_ > 0 && qib == upd_qb_full_);
+            const int oi0 = std::min(qib, upd_qb_full_) * upd_bq_;
+            const std::int64_t in_off =
+                n * in_n_stride_ + cbi * in_cb_stride_ +
+                static_cast<std::int64_t>(oj0 * p.stride_h + r +
+                                          in_shift_h_) *
+                    in_row_stride_ +
+                static_cast<std::int64_t>(oi0 * p.stride_w + s +
+                                          in_shift_w_) *
+                    vlen_;
+            const std::int64_t do_off =
+                n * out_n_stride_ + kbi * out_kb_stride_ +
+                static_cast<std::int64_t>(oj0 + out_pad_h_) *
+                    out_row_stride_ +
+                static_cast<std::int64_t>(oi0 + out_pad_w_) * vlen_;
+            const int v =
+                upd_vmap_[((p_edge ? 1 : 0) * 2 + (q_edge ? 1 : 0)) * 2 +
+                          (first ? 1 : 0)];
+            emit_upd(v, in_off, do_off, dw_off);
+            first = false;
           }
         }
-#pragma omp barrier
-        // Parallel tree-less reduction: each thread sums a contiguous slice
-        // of the dW element space over all copies.
-        const Range er = thread_chunk(static_cast<std::int64_t>(dw_size), tid,
-                                      threads_);
-        float* out = grad_wt.data();
-        for (std::int64_t e = er.begin; e < er.end; ++e) {
-          float acc = upd_scratch_[e];
-          for (int c = 1; c < copies; ++c)
-            acc += upd_scratch_[dw_size * c + e];
-          out[e] = acc;
-        }
       }
-      return;
-    }
-    case UpdStrategy::hybrid: {
-      // G dW copies; group g covers a minibatch slice, its members split the
-      // task space (Section II-J's "hybrid versions of these two extremes").
-      const int groups = std::min(
-          {std::max(2, threads_ / 2), p.N, static_cast<int>(tasks)});
-      if (threads_ < 2 || groups < 2) {
-        // Degenerate case: hybrid needs >= 2 threads and >= 2 viable groups
-        // (each group must own a non-empty minibatch slice); run task-style.
+    };
+
+    // Privatized copies: barrier, then each thread sums a contiguous slice
+    // of the dW element space over all copies (copy 0 first — the order the
+    // REDUCE replay reproduces bit-identically).
+    auto reduce_phase = [&](int copies) {
+      if (stream != nullptr) stream->record_barrier();
+#pragma omp barrier
+      const Range er = thread_chunk(dw_size, tid, threads_);
+      if (er.empty()) return;
+      if (stream != nullptr) {
+        stream->record_reduce({er.begin, er.size(), copies, dw_size});
+        return;
+      }
+      const float* src = upd_scratch_.data();
+      for (std::int64_t e = er.begin; e < er.end; ++e) {
+        float acc = src[e];
+        for (int c = 1; c < copies; ++c) acc += src[dw_size * c + e];
+        dw[e] = acc;
+      }
+    };
+
+    const bool task_style =
+        upd_strategy_ == UpdStrategy::task ||
+        upd_strategy_ == UpdStrategy::auto_pick ||  // resolved at setup
+        (upd_strategy_ == UpdStrategy::hybrid && upd_groups_ == 0);
+    if (task_style) {
+      const Range tr = thread_chunk(tasks, tid, threads_);
+      for (std::int64_t t = tr.begin; t < tr.end; ++t) {
+        int kbi, cbi, r, s;
+        task_coords(t, kbi, cbi, r, s);
+        accumulate(dw_offset(kbi, cbi, r, s), kbi, cbi, r, s, 0, p.N);
+      }
+    } else if (upd_strategy_ == UpdStrategy::minibatch) {
+      const Range nr = thread_chunk(p.N, tid, threads_);
+      if (nr.empty()) {
+        // More threads than minibatch: this thread's copy never receives a
+        // beta0 write; blank it so the reduction reads zeros.
+        if (stream != nullptr)
+          stream->record_zero(0, dw_size);
+        else
+          std::memset(dw_base, 0,
+                      static_cast<std::size_t>(dw_size) * sizeof(float));
+      } else {
         for (std::int64_t t = 0; t < tasks; ++t) {
           int kbi, cbi, r, s;
           task_coords(t, kbi, cbi, r, s);
-          run_block(grad_wt.at(kbi, cbi, r, s), kbi, cbi, r, s, 0, p.N,
-                    /*zero_first=*/true);
-        }
-        return;
-      }
-      upd_scratch_.resize(dw_size * groups);
-#pragma omp parallel num_threads(threads_)
-      {
-        const int tid = omp_get_thread_num();
-        // Distribute threads over groups round-robin (tid % groups).
-        const int g = tid % groups;
-        const int member = tid / groups;
-        const int members =
-            threads_ / groups + (g < threads_ % groups ? 1 : 0);
-        float* my = upd_scratch_.data() + dw_size * g;
-        const Range nr = thread_chunk(p.N, g, groups);
-        const Range tr = thread_chunk(tasks, member, members);
-        for (std::int64_t t = tr.begin; t < tr.end; ++t) {
-          int kbi, cbi, r, s;
-          task_coords(t, kbi, cbi, r, s);
-          float* blk = my + grad_wt.offset(kbi, cbi, r, s);
-          run_block(blk, kbi, cbi, r, s, static_cast<int>(nr.begin),
-                    static_cast<int>(nr.end), /*zero_first=*/true);
-        }
-#pragma omp barrier
-        const Range er = thread_chunk(static_cast<std::int64_t>(dw_size), tid,
-                                      threads_);
-        float* out = grad_wt.data();
-        for (std::int64_t e = er.begin; e < er.end; ++e) {
-          float acc = upd_scratch_[e];
-          for (int c = 1; c < groups; ++c)
-            acc += upd_scratch_[dw_size * c + e];
-          out[e] = acc;
+          accumulate(dw_offset(kbi, cbi, r, s), kbi, cbi, r, s,
+                     static_cast<int>(nr.begin), static_cast<int>(nr.end));
         }
       }
-      return;
+      reduce_phase(threads_);
+    } else {
+      // Hybrid: G dW copies; group g covers a minibatch slice, its members
+      // split the task space (Section II-J's "hybrid versions of these two
+      // extremes"). Threads are distributed over groups round-robin.
+      const int g = tid % upd_groups_;
+      const int member = tid / upd_groups_;
+      const int members =
+          threads_ / upd_groups_ + (g < threads_ % upd_groups_ ? 1 : 0);
+      const Range nr = thread_chunk(p.N, g, upd_groups_);
+      const Range tr = thread_chunk(tasks, member, members);
+      for (std::int64_t t = tr.begin; t < tr.end; ++t) {
+        int kbi, cbi, r, s;
+        task_coords(t, kbi, cbi, r, s);
+        accumulate(dw_offset(kbi, cbi, r, s), kbi, cbi, r, s,
+                   static_cast<int>(nr.begin), static_cast<int>(nr.end));
+      }
+      reduce_phase(upd_groups_);
     }
+  });
+}
+
+void ConvLayer::dryrun_update() {
+  upd_streams_.assign(threads_, KernelStream{});
+  update_branchy(nullptr, nullptr, nullptr, /*record_streams=*/true);
+  for (auto& s : upd_streams_) s.finish();
+}
+
+void ConvLayer::update(const tensor::ActTensor& in,
+                       const tensor::ActTensor& grad_out,
+                       tensor::WtTensor& grad_wt) {
+  check_upd_geometry(*this, in, grad_out, grad_wt);
+  const float* in_b = in.data();
+  const float* do_b = grad_out.data();
+  float* dw = grad_wt.data();
+
+  if (opt_.use_streams && !upd_streams_.empty()) {
+    parallel_exact("ConvLayer::update", [&](int tid) {
+      upd_streams_[tid].replay_upd(upd_variants_, in_b, do_b,
+                                   upd_dw_base(tid, dw),
+                                   upd_scratch_.data(), dw);
+    });
+    return;
   }
+  update_branchy(in_b, do_b, dw, /*record_streams=*/false);
 }
 
 }  // namespace xconv::core

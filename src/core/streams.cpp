@@ -1,21 +1,42 @@
 #include "core/streams.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace xconv::core {
 
-void KernelStream::record_conv(std::uint16_t variant, std::int64_t in_off,
-                               std::int64_t wt_off, std::int64_t out_off) {
+bool use_streams_from_env() {
+  const char* v = std::getenv("XCONV_STREAMS");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "0" || s == "off" || s == "false");
+}
+
+void KernelStream::record_call(SegmentType streak, std::uint16_t variant,
+                               std::int64_t off_a, std::int64_t off_b,
+                               std::int64_t off_c) {
   if (finished_) throw std::logic_error("KernelStream: record after finish");
   var_.push_back(variant);
-  in_off_.push_back(in_off);
-  wt_off_.push_back(wt_off);
-  out_off_.push_back(out_off);
-  // Run-length encode: extend the current CONV-STREAK or open a new one.
-  if (!segments_.empty() && segments_.back().type == SegmentType::conv_streak)
+  in_off_.push_back(off_a);
+  wt_off_.push_back(off_b);
+  out_off_.push_back(off_c);
+  // Run-length encode: extend the current streak or open a new one.
+  if (!segments_.empty() && segments_.back().type == streak)
     ++segments_.back().info;
   else
-    segments_.push_back({SegmentType::conv_streak, 1});
+    segments_.push_back({streak, 1});
+}
+
+void KernelStream::record_conv(std::uint16_t variant, std::int64_t in_off,
+                               std::int64_t wt_off, std::int64_t out_off) {
+  record_call(SegmentType::conv_streak, variant, in_off, wt_off, out_off);
+}
+
+void KernelStream::record_upd(std::uint16_t variant, std::int64_t in_off,
+                              std::int64_t dout_off, std::int64_t dw_off) {
+  record_call(SegmentType::upd_streak, variant, in_off, dout_off, dw_off);
 }
 
 void KernelStream::record_apply(const ApplyRecord& rec) {
@@ -23,6 +44,25 @@ void KernelStream::record_apply(const ApplyRecord& rec) {
   applies_.push_back(rec);
   segments_.push_back(
       {SegmentType::apply, static_cast<std::int32_t>(applies_.size() - 1)});
+}
+
+void KernelStream::record_zero(std::int64_t dst_off, std::int64_t count) {
+  if (finished_) throw std::logic_error("KernelStream: record after finish");
+  zeros_.push_back({dst_off, count});
+  segments_.push_back(
+      {SegmentType::zero, static_cast<std::int32_t>(zeros_.size() - 1)});
+}
+
+void KernelStream::record_reduce(const ReduceRecord& rec) {
+  if (finished_) throw std::logic_error("KernelStream: record after finish");
+  reduces_.push_back(rec);
+  segments_.push_back(
+      {SegmentType::reduce, static_cast<std::int32_t>(reduces_.size() - 1)});
+}
+
+void KernelStream::record_barrier() {
+  if (finished_) throw std::logic_error("KernelStream: record after finish");
+  segments_.push_back({SegmentType::barrier, 0});
 }
 
 void KernelStream::finish() { finished_ = true; }
@@ -34,6 +74,8 @@ void KernelStream::clear() {
   out_off_.clear();
   segments_.clear();
   applies_.clear();
+  zeros_.clear();
+  reduces_.clear();
   finished_ = false;
 }
 
@@ -45,16 +87,76 @@ void KernelStream::replay(
   const std::size_t total = var_.size();
   std::size_t i = 0;
   for (const Segment& seg : segments_) {
-    if (seg.type == SegmentType::conv_streak) {
-      for (std::int32_t c = 0; c < seg.info; ++c, ++i) {
-        // Prefetch args = the next call's sub-tensors (clamped at the tail).
-        const std::size_t j = (i + 1 < total) ? i + 1 : i;
-        variants[var_[i]]->run(in_base + in_off_[i], wt_base + wt_off_[i],
-                               out_base + out_off_[i], in_base + in_off_[j],
-                               wt_base + wt_off_[j], out_base + out_off_[j]);
+    switch (seg.type) {
+      case SegmentType::conv_streak:
+        for (std::int32_t c = 0; c < seg.info; ++c, ++i) {
+          // Prefetch args = the next call's sub-tensors (clamped at the
+          // tail).
+          const std::size_t j = (i + 1 < total) ? i + 1 : i;
+          variants[var_[i]]->run(in_base + in_off_[i], wt_base + wt_off_[i],
+                                 out_base + out_off_[i], in_base + in_off_[j],
+                                 wt_base + wt_off_[j], out_base + out_off_[j]);
+        }
+        break;
+      case SegmentType::apply:
+        apply_fused_op(applies_[seg.info], out_base, fargs);
+        break;
+      case SegmentType::barrier: {
+#pragma omp barrier
+        break;
       }
-    } else {
-      apply_fused_op(applies_[seg.info], out_base, fargs);
+      default:
+        throw std::logic_error(
+            "KernelStream: update-family record in conv replay");
+    }
+  }
+}
+
+void KernelStream::replay_upd(
+    const std::vector<const kernels::UpdMicrokernel*>& variants,
+    const float* in_base, const float* dout_base, float* dw_base,
+    const float* red_src, float* red_dst) const {
+  if (!finished_) throw std::logic_error("KernelStream: replay before finish");
+  const std::size_t total = var_.size();
+  std::size_t i = 0;
+  for (const Segment& seg : segments_) {
+    switch (seg.type) {
+      case SegmentType::upd_streak:
+        for (std::int32_t c = 0; c < seg.info; ++c, ++i) {
+          const std::size_t j = (i + 1 < total) ? i + 1 : i;
+          variants[var_[i]]->run(in_base + in_off_[i], dout_base + wt_off_[i],
+                                 dw_base + out_off_[i], in_base + in_off_[j],
+                                 dout_base + wt_off_[j],
+                                 dw_base + out_off_[j]);
+        }
+        break;
+      case SegmentType::zero: {
+        const ZeroRecord& z = zeros_[seg.info];
+        std::memset(dw_base + z.dst_off, 0,
+                    static_cast<std::size_t>(z.count) * sizeof(float));
+        break;
+      }
+      case SegmentType::reduce: {
+        // Same summation order as the branchy reduction: copy 0 first, then
+        // copies 1..C-1 in order — bit-identical accumulation.
+        const ReduceRecord& r = reduces_[seg.info];
+        for (std::int64_t e = r.begin; e < r.begin + r.count; ++e) {
+          float acc = red_src[e];
+          for (std::int32_t c = 1; c < r.copies; ++c)
+            acc += red_src[c * r.copy_stride + e];
+          red_dst[e] = acc;
+        }
+        break;
+      }
+      case SegmentType::barrier: {
+        // Binds to the innermost enclosing parallel region; every thread's
+        // stream records the same barrier sequence, so the team lines up.
+#pragma omp barrier
+        break;
+      }
+      default:
+        throw std::logic_error(
+            "KernelStream: conv-family record in update replay");
     }
   }
 }

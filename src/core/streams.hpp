@@ -1,15 +1,23 @@
 // Kernel streams (paper Section II-H, Figures 1-2, Algorithm 5).
 //
 // During the *dryrun* phase each thread records, instead of executing, its
-// sequence of microkernel calls: a variant stream plus input/weight/output
-// offset streams, and APPLY records for fused operators. Consecutive
-// convolutions are run-length encoded as CONV-STREAK segments.
+// sequence of microkernel calls: a variant stream plus three offset streams,
+// APPLY records for fused operators, and — for the weight-update pass — ZERO
+// and REDUCE records covering the minibatch/hybrid dW privatization.
+// Consecutive kernel invocations are run-length encoded as streak segments.
 //
 // During *replay* (Algorithm 5) the segment program is executed with no
 // branchy boundary logic; the prefetch arguments of call i are simply the
 // offsets of call i+1 — the property Figure 1 derives (pi_off_i = i_off_{i+1}).
 // Offsets (not pointers) are recorded so one stream replays against any
 // tensor instances with the same geometry.
+//
+// The recorder is pass-agnostic: forward and backward streams hold CONV
+// streaks (offsets are in/wt/out), update streams hold UPD streaks (offsets
+// are in/dout/dw, dw relative to the replaying thread's private copy) plus
+// ZERO/BARRIER/REDUCE records. A stream replays through exactly one of
+// `replay` (conv) or `replay_upd` (update); mixing record families in one
+// stream throws at replay time.
 #pragma once
 
 #include <cstdint>
@@ -20,11 +28,40 @@
 
 namespace xconv::core {
 
-enum class SegmentType : std::uint8_t { conv_streak, apply };
+/// Default for ConvOptions::use_streams: the XCONV_STREAMS environment
+/// variable ("0"/"off"/"false" disable replay, anything else enables it;
+/// unset = enabled). Lets every binary flip stream vs branchy mode without a
+/// code change.
+bool use_streams_from_env();
+
+enum class SegmentType : std::uint8_t {
+  conv_streak,  ///< `info` convolution microkernel calls
+  apply,        ///< one fused-operator APPLY; info = index into applies()
+  upd_streak,   ///< `info` weight-update microkernel calls
+  zero,         ///< zero a dW range; info = index into zeros()
+  reduce,       ///< sum private dW copies; info = index into reduces()
+  barrier,      ///< OpenMP team barrier (privatized-accumulate -> reduce)
+};
 
 struct Segment {
   SegmentType type;
-  std::int32_t info;  ///< conv_streak: #convs; apply: index into applies()
+  std::int32_t info;
+};
+
+/// Zero `count` floats at `dst_off` into the replaying thread's dW base.
+struct ZeroRecord {
+  std::int64_t dst_off = 0;
+  std::int64_t count = 0;
+};
+
+/// For each element e in [begin, begin+count):
+///   dst[e] = sum over c in [0, copies) of src[c*copy_stride + e]
+/// where src is the privatized-copy arena and dst the final dW tensor.
+struct ReduceRecord {
+  std::int64_t begin = 0;
+  std::int64_t count = 0;
+  std::int32_t copies = 0;
+  std::int64_t copy_stride = 0;
 };
 
 class KernelStream {
@@ -33,21 +70,42 @@ class KernelStream {
   void record_conv(std::uint16_t variant, std::int64_t in_off,
                    std::int64_t wt_off, std::int64_t out_off);
   void record_apply(const ApplyRecord& rec);
+  void record_upd(std::uint16_t variant, std::int64_t in_off,
+                  std::int64_t dout_off, std::int64_t dw_off);
+  void record_zero(std::int64_t dst_off, std::int64_t count);
+  void record_reduce(const ReduceRecord& rec);
+  void record_barrier();
   /// Seal the stream; replays are allowed afterwards.
   void finish();
 
   /// Replay (Algorithm 5) --------------------------------------------------
-  /// `variants[v]` resolves the CONV kernel for variant stream value v.
+  /// Forward/backward replay: `variants[v]` resolves the CONV kernel for
+  /// variant stream value v. Throws on update-family records.
   void replay(const std::vector<const kernels::ConvMicrokernel*>& variants,
               const float* in_base, const float* wt_base, float* out_base,
               const FusionArgs& fargs) const;
 
+  /// Weight-update replay. `dw_base` is the replaying thread's accumulation
+  /// target (the shared dW for the task strategy, this thread's/group's
+  /// private copy for minibatch/hybrid); `red_src`/`red_dst` are the
+  /// privatized-copy arena and the final dW tensor for REDUCE records.
+  /// BARRIER records bind to the innermost enclosing OpenMP parallel region
+  /// (a no-op when replayed serially). Throws on conv-family records.
+  void replay_upd(const std::vector<const kernels::UpdMicrokernel*>& variants,
+                  const float* in_base, const float* dout_base, float* dw_base,
+                  const float* red_src, float* red_dst) const;
+
   /// Introspection ---------------------------------------------------------
+  std::size_t n_calls() const { return var_.size(); }
   std::size_t n_convs() const { return var_.size(); }
   std::size_t n_segments() const { return segments_.size(); }
   const std::vector<Segment>& segments() const { return segments_; }
   const std::vector<ApplyRecord>& applies() const { return applies_; }
+  const std::vector<ZeroRecord>& zeros() const { return zeros_; }
+  const std::vector<ReduceRecord>& reduces() const { return reduces_; }
   const std::vector<std::uint16_t>& variants() const { return var_; }
+  /// Offset streams; conv records hold (in, wt, out), upd records hold
+  /// (in, dout, dw) in the same three arrays.
   const std::vector<std::int64_t>& in_offsets() const { return in_off_; }
   const std::vector<std::int64_t>& wt_offsets() const { return wt_off_; }
   const std::vector<std::int64_t>& out_offsets() const { return out_off_; }
@@ -55,10 +113,15 @@ class KernelStream {
   void clear();
 
  private:
+  void record_call(SegmentType streak, std::uint16_t variant,
+                   std::int64_t off_a, std::int64_t off_b, std::int64_t off_c);
+
   std::vector<std::uint16_t> var_;
   std::vector<std::int64_t> in_off_, wt_off_, out_off_;
   std::vector<Segment> segments_;
   std::vector<ApplyRecord> applies_;
+  std::vector<ZeroRecord> zeros_;
+  std::vector<ReduceRecord> reduces_;
   bool finished_ = false;
 };
 

@@ -21,13 +21,18 @@ void Communicator::parallel(const std::function<void(int)>& fn) {
   }
   std::vector<std::thread> ts;
   ts.reserve(ranks_);
+  // Concurrent failing ranks must not assign the shared exception_ptr
+  // unsynchronized (std::exception_ptr assignment is not atomic): the mutex
+  // serializes publication and the first exception wins.
+  std::mutex err_mu;
   std::exception_ptr err;
   for (int r = 0; r < ranks_; ++r)
     ts.emplace_back([&, r]() {
       try {
         fn(r);
       } catch (...) {
-        err = std::current_exception();
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
       }
     });
   for (auto& t : ts) t.join();
@@ -65,10 +70,14 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
     const std::size_t b = chunk_begin(c), e = chunk_end(c);
     std::memcpy(bufs[rank] + b, bufs[c] + b, (e - b) * sizeof(float));
   }
-  barrier();
+  // Publish the traffic count *before* the final barrier (it used to be
+  // written after, racing with ranks already inside a subsequent call) and
+  // through an atomic so concurrent readers are always well-defined.
   if (rank == 0)
-    last_bytes_ = 2 * (static_cast<std::size_t>(R) - 1) * n * sizeof(float) /
-                  static_cast<std::size_t>(R);
+    last_bytes_.store(2 * (static_cast<std::size_t>(R) - 1) * n *
+                          sizeof(float) / static_cast<std::size_t>(R),
+                      std::memory_order_relaxed);
+  barrier();
 }
 
 }  // namespace xconv::mlsl

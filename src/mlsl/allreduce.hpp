@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace xconv::mlsl {
@@ -34,13 +35,18 @@ class Communicator {
   void barrier();
 
   /// Bytes moved per rank by the last allreduce (2*(R-1)/R * n * 4).
-  std::size_t last_bytes_per_rank() const { return last_bytes_; }
+  /// Atomic: rank 0 publishes it before the closing barrier of the
+  /// allreduce, and callers may read it while other ranks are already in a
+  /// subsequent collective.
+  std::size_t last_bytes_per_rank() const {
+    return last_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   int ranks_;
   std::unique_ptr<std::barrier<>> barrier_;
   std::vector<std::vector<float>> scratch_;
-  std::size_t last_bytes_ = 0;
+  std::atomic<std::size_t> last_bytes_{0};
 };
 
 }  // namespace xconv::mlsl

@@ -1,15 +1,20 @@
 // Randomized parameter fuzzing: all three passes vs the naive oracle over a
 // reproducible sample of the convolution parameter space (channel counts
 // that are not vector multiples, rectangular filters/images, every stride /
-// padding combination the layer supports).
+// padding combination the layer supports). Execution mode is fuzzed too:
+// stream replay vs branchy drivers, thread counts, fused operators and
+// register/pixel-block overrides that force edge-block (p_rem_/q_rem_ > 0)
+// kernels into the streams.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
 #include "test_helpers.hpp"
 
 using namespace xconv;
 using xconv::testing::ConvProblem;
+using xconv::testing::expect_bitwise;
 using xconv::testing::expect_close;
 
 namespace {
@@ -43,40 +48,65 @@ core::ConvParams random_params(unsigned seed) {
   return core::make_conv(1, 16, 16, 8, 8, 3, 3, 1);
 }
 
+// Randomized execution mode: stream vs branchy, thread count, update
+// strategy, and occasional blocking overrides that force edge kernels.
+core::ConvOptions random_options(unsigned seed) {
+  std::mt19937 rng(seed * 7919u + 13u);
+  core::ConvOptions o;
+  o.use_streams = (rng() % 2) == 0;
+  o.threads = 1 + static_cast<int>(rng() % 3);
+  switch (rng() % 4) {
+    case 0: o.upd_strategy = core::UpdStrategy::task; break;
+    case 1: o.upd_strategy = core::UpdStrategy::minibatch; break;
+    case 2: o.upd_strategy = core::UpdStrategy::hybrid; break;
+    default: break;  // auto_pick
+  }
+  if (rng() % 3 == 0) o.rbq = 3 + static_cast<int>(rng() % 3);
+  if (rng() % 3 == 0) {
+    o.upd_bp = 2 + static_cast<int>(rng() % 2);
+    o.upd_bq = 3 + static_cast<int>(rng() % 3);
+  }
+  return o;
+}
+
 }  // namespace
 
 class ConvFuzz : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(ConvFuzz, ForwardMatchesNaive) {
   const auto p = random_params(GetParam());
+  const auto o = random_options(GetParam());
   SCOPED_TRACE(p.to_string());
   ConvProblem pr(p, GetParam());
-  core::ConvLayer layer(p);
+  core::ConvLayer layer(p, o);
   expect_close(naive_fwd(pr), layer_forward(layer, pr), 3e-3, "fuzz fwd");
 }
 
 TEST_P(ConvFuzz, BackwardMatchesNaive) {
   const auto p = random_params(GetParam());
+  const auto o = random_options(GetParam() + 500);
   SCOPED_TRACE(p.to_string());
   ConvProblem pr(p, GetParam() + 1000);
-  core::ConvLayer layer(p);
+  core::ConvLayer layer(p, o);
   expect_close(naive_bwd(pr), layer_backward(layer, pr), 3e-3, "fuzz bwd");
 }
 
 TEST_P(ConvFuzz, UpdateMatchesNaive) {
   const auto p = random_params(GetParam());
+  const auto o = random_options(GetParam() + 600);
   SCOPED_TRACE(p.to_string());
   ConvProblem pr(p, GetParam() + 2000);
-  core::ConvLayer layer(p);
+  core::ConvLayer layer(p, o);
   expect_close(naive_upd(pr), layer_update(layer, pr), 4e-3, "fuzz upd");
 }
 
 TEST_P(ConvFuzz, AdjointPropertyHolds) {
   // <conv(x; W), y> == <x, conv_bwd(y; W)> through the optimized layer.
   const auto p = random_params(GetParam());
+  const auto o = random_options(GetParam() + 700);
   SCOPED_TRACE(p.to_string());
   ConvProblem pr(p, GetParam() + 3000);
-  core::ConvLayer layer(p);
+  core::ConvLayer layer(p, o);
   const auto out = layer_forward(layer, pr);
   const auto din = layer_backward(layer, pr);
   double lhs = 0, rhs = 0;
@@ -85,6 +115,31 @@ TEST_P(ConvFuzz, AdjointPropertyHolds) {
   for (std::size_t i = 0; i < din.size(); ++i)
     rhs += static_cast<double>(din[i]) * pr.in[i];
   EXPECT_NEAR(lhs, rhs, 2e-3 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST_P(ConvFuzz, StreamReplayMatchesBranchyBitwise) {
+  // The defining property of replay (old fwd path and the new bwd/upd
+  // paths): the same kernel-call sequence as the branchy driver, hence
+  // bit-identical results — over random shapes, thread counts, update
+  // strategies, blocking overrides and the in-kernel fused ReLU.
+  const auto p = random_params(GetParam());
+  auto o = random_options(GetParam() + 800);
+  std::mt19937 rng(GetParam() * 31u + 7u);
+  o.fuse = (rng() % 2 == 0) ? core::FusedOp::relu : core::FusedOp::none;
+  SCOPED_TRACE(p.to_string());
+  ConvProblem pr(p, GetParam() + 4000);
+
+  o.use_streams = false;
+  core::ConvLayer branchy(p, o);
+  o.use_streams = true;
+  core::ConvLayer stream(p, o);
+
+  expect_bitwise(layer_forward(branchy, pr), layer_forward(stream, pr),
+                 "fwd stream-vs-branchy");
+  expect_bitwise(layer_backward(branchy, pr), layer_backward(stream, pr),
+                 "bwd stream-vs-branchy");
+  expect_bitwise(layer_update(branchy, pr), layer_update(stream, pr),
+                 "upd stream-vs-branchy");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConvFuzz, ::testing::Range(0u, 24u));

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 #include <vector>
 
@@ -42,6 +43,16 @@ inline void expect_close(const std::vector<float>& ref,
   const tensor::ErrorNorms e =
       tensor::compare(ref.data(), got.data(), ref.size());
   EXPECT_LT(e.l2_rel, tol) << what << " " << e.to_string();
+}
+
+/// Exact (bit-identical) comparison — what stream replay guarantees vs the
+/// branchy drivers: the same kernel-call sequence, hence the same floats.
+inline void expect_bitwise(const std::vector<float>& a,
+                           const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0) return;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at element " << i;
 }
 
 /// Run ConvLayer forward on dense data; returns dense output.

@@ -58,6 +58,53 @@ TEST(Allreduce, ExceptionsPropagateFromRanks) {
                std::runtime_error);
 }
 
+TEST(Allreduce, ConcurrentThrowsFromAllRanksAreSerialized) {
+  // Regression: every rank throwing at once used to assign the shared
+  // std::exception_ptr unsynchronized (a data race TSan/ASan flags and a
+  // potential refcount corruption). Exactly one exception must surface and
+  // the communicator must stay usable afterwards.
+  const int R = 8;
+  mlsl::Communicator comm(R);
+  for (int iter = 0; iter < 50; ++iter) {
+    try {
+      comm.parallel([](int rank) {
+        throw std::runtime_error("rank " + std::to_string(rank));
+      });
+      FAIL() << "parallel() must rethrow one of the rank exceptions";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("rank ", 0), 0u) << e.what();
+    }
+  }
+  // Still functional after repeated failure storms.
+  std::vector<std::vector<float>> data(R, std::vector<float>(64, 1.0f));
+  std::vector<float*> bufs(R);
+  for (int r = 0; r < R; ++r) bufs[r] = data[r].data();
+  comm.parallel([&](int rank) { comm.allreduce_sum(rank, bufs, 64); });
+  for (int r = 0; r < R; ++r)
+    EXPECT_FLOAT_EQ(data[r][0], static_cast<float>(R));
+}
+
+TEST(Allreduce, TrafficCountReadableWhileRanksRace) {
+  // Regression: last_bytes_ used to be written by rank 0 *after* the final
+  // barrier, racing with ranks already inside the next allreduce. Back-to-
+  // back collectives with interleaved reads must stay well-defined (the
+  // sanitizer jobs catch the data race on the pre-fix code).
+  const int R = 4;
+  const std::size_t n = 512;
+  mlsl::Communicator comm(R);
+  std::vector<std::vector<float>> data(R, std::vector<float>(n, 1.0f));
+  std::vector<float*> bufs(R);
+  for (int r = 0; r < R; ++r) bufs[r] = data[r].data();
+  comm.parallel([&](int rank) {
+    for (int iter = 0; iter < 20; ++iter) {
+      comm.allreduce_sum(rank, bufs, n);
+      // Every rank reads the published count without synchronizing first.
+      const std::size_t got = comm.last_bytes_per_rank();
+      EXPECT_EQ(got, 2 * (R - 1) * n * sizeof(float) / R);
+    }
+  });
+}
+
 TEST(NetModel, AllreduceTimeScalesWithVolumeAndNodes) {
   mlsl::NetworkModel net;
   const std::size_t mb100 = 100u << 20;

@@ -46,6 +46,35 @@ class RecordingKernel final : public kernels::ConvMicrokernel {
   }
 };
 
+// Fake weight-update microkernel recording every call's arguments.
+struct UpdCall {
+  const float *in, *dout, *pf_in, *pf_dout, *pf_dw;
+  float* dw;
+};
+
+class RecordingUpdKernel final : public kernels::UpdMicrokernel {
+ public:
+  RecordingUpdKernel() : UpdMicrokernel(make_desc()) {}
+  void run(const float* in, const float* dout, float* dw, const float* pf_in,
+           const float* pf_dout, const float* pf_dw) const override {
+    calls.push_back(
+        {in, dout, pf_in, pf_dout, pf_dw, const_cast<float*>(dw)});
+  }
+  kernels::Backend backend() const override {
+    return kernels::Backend::scalar;
+  }
+  mutable std::vector<UpdCall> calls;
+
+ private:
+  static jit::UpdKernelDesc make_desc() {
+    jit::UpdKernelDesc d;
+    d.vlen = 16;
+    d.in_row_stride = 16;
+    d.out_row_stride = 16;
+    return d;
+  }
+};
+
 }  // namespace
 
 TEST(Streams, RleBuildsConvStreaks) {
@@ -162,6 +191,99 @@ TEST(Streams, ReplayIsDeterministic) {
     EXPECT_EQ(k.calls[i].in, first[i].in);
     EXPECT_EQ(k.calls[i].out, first[i].out);
   }
+}
+
+TEST(Streams, UpdStreaksRleAndPrefetch) {
+  // The pass-agnostic recorder applies the same RLE and Figure-1 prefetch
+  // property to weight-update streaks.
+  KernelStream s;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) s.record_upd(0, 7 * i, 70 * i, 700 * i);
+  s.finish();
+  ASSERT_EQ(s.n_segments(), 1u);
+  EXPECT_EQ(s.segments()[0].type, SegmentType::upd_streak);
+  EXPECT_EQ(s.segments()[0].info, n);
+
+  RecordingUpdKernel k;
+  std::vector<const kernels::UpdMicrokernel*> variants{&k};
+  std::vector<float> in(100), dout(1000), dw(10000);
+  s.replay_upd(variants, in.data(), dout.data(), dw.data(), nullptr,
+               nullptr);
+  ASSERT_EQ(k.calls.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int j = std::min(i + 1, n - 1);  // clamped at the tail
+    EXPECT_EQ(k.calls[i].in, in.data() + 7 * i);
+    EXPECT_EQ(k.calls[i].dout, dout.data() + 70 * i);
+    EXPECT_EQ(k.calls[i].dw, dw.data() + 700 * i);
+    EXPECT_EQ(k.calls[i].pf_in, in.data() + 7 * j);
+    EXPECT_EQ(k.calls[i].pf_dout, dout.data() + 70 * j);
+    EXPECT_EQ(k.calls[i].pf_dw, dw.data() + 700 * j);
+  }
+}
+
+TEST(Streams, ZeroAndReduceReplay) {
+  // A minibatch-privatization stream: zero this thread's copy, (no
+  // accumulation), then sum 3 copies into the destination.
+  KernelStream s;
+  s.record_zero(2, 4);
+  s.record_barrier();  // no-op when replayed serially
+  core::ReduceRecord r;
+  r.begin = 1;
+  r.count = 3;
+  r.copies = 3;
+  r.copy_stride = 8;
+  s.record_reduce(r);
+  s.finish();
+  ASSERT_EQ(s.n_segments(), 3u);
+  EXPECT_EQ(s.segments()[0].type, SegmentType::zero);
+  EXPECT_EQ(s.segments()[1].type, SegmentType::barrier);
+  EXPECT_EQ(s.segments()[2].type, SegmentType::reduce);
+
+  std::vector<float> dw(8, 5.0f);          // the thread's private copy
+  std::vector<float> arena(24);            // 3 copies of 8 elements
+  for (std::size_t i = 0; i < arena.size(); ++i)
+    arena[i] = static_cast<float>(i);
+  std::vector<float> dst(8, -1.0f);
+  s.replay_upd({}, nullptr, nullptr, dw.data(), arena.data(), dst.data());
+  // zero: dw[2..5] cleared, rest untouched.
+  EXPECT_FLOAT_EQ(dw[1], 5.0f);
+  EXPECT_FLOAT_EQ(dw[2], 0.0f);
+  EXPECT_FLOAT_EQ(dw[5], 0.0f);
+  EXPECT_FLOAT_EQ(dw[6], 5.0f);
+  // reduce: dst[e] = arena[e] + arena[8+e] + arena[16+e] for e in [1, 4).
+  EXPECT_FLOAT_EQ(dst[0], -1.0f);
+  for (int e = 1; e < 4; ++e)
+    EXPECT_FLOAT_EQ(dst[e], static_cast<float>(e + (8 + e) + (16 + e)));
+  EXPECT_FLOAT_EQ(dst[4], -1.0f);
+}
+
+TEST(Streams, MixedFamilyReplayThrows) {
+  KernelStream conv_stream;
+  conv_stream.record_conv(0, 0, 0, 0);
+  conv_stream.finish();
+  EXPECT_THROW(
+      conv_stream.replay_upd({}, nullptr, nullptr, nullptr, nullptr, nullptr),
+      std::logic_error);
+
+  KernelStream upd_stream;
+  upd_stream.record_upd(0, 0, 0, 0);
+  upd_stream.finish();
+  EXPECT_THROW(upd_stream.replay({}, nullptr, nullptr, nullptr, {}),
+               std::logic_error);
+}
+
+TEST(Streams, ConvAndUpdStreaksDoNotMerge) {
+  // RLE only merges records of the same family.
+  KernelStream s;
+  s.record_conv(0, 0, 0, 0);
+  s.record_upd(0, 0, 0, 0);
+  s.record_upd(0, 1, 1, 1);
+  s.finish();
+  ASSERT_EQ(s.n_segments(), 2u);
+  EXPECT_EQ(s.segments()[0].type, SegmentType::conv_streak);
+  EXPECT_EQ(s.segments()[0].info, 1);
+  EXPECT_EQ(s.segments()[1].type, SegmentType::upd_streak);
+  EXPECT_EQ(s.segments()[1].info, 2);
 }
 
 TEST(Streams, SegmentStructureOfRealLayer) {

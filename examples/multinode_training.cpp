@@ -5,6 +5,10 @@
 // 16-node clusters.
 //
 // Usage: ./examples/multinode_training [ranks] [iters]
+// Environment: XCONV_MN_MODE=bulk|overlap selects the gradient-sync path
+// (overlap posts size-capped buckets during backward — the paper's
+// overlapped allreduce), XCONV_MN_BUCKET_KB caps the bucket payload.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -18,22 +22,37 @@ int main(int argc, char** argv) {
   int ranks = 2, iters = 20;
   if (argc > 1) ranks = std::atoi(argv[1]);
   if (argc > 2) iters = std::atoi(argv[2]);
+  if (ranks < 1 || iters < 1) {
+    std::fprintf(stderr, "usage: %s [ranks >= 1] [iters >= 1]\n", argv[0]);
+    return 2;
+  }
 
   const auto nl = gxm::parse_topology(topo::resnet_mini_topology(8, 32, 4));
   gxm::GraphOptions opt;
-  mlsl::MultiNodeTrainer trainer(nl, ranks, opt);
+  const auto mn = mlsl::MultiNodeOptions::from_env();
+  mlsl::MultiNodeTrainer trainer(nl, ranks, opt, mn);
   gxm::Solver solver;
   solver.lr = 0.01f;
 
   std::printf("synchronous SGD on %d simulated nodes (ResNet-mini, distinct "
-              "data shards, ring allreduce on %zu gradient elements)\n",
-              ranks, trainer.rank_graph(0).grad_elems());
-  for (int chunk = 0; chunk < iters / 5; ++chunk) {
-    const auto st = trainer.train(5, solver);
+              "data shards, %s-mode allreduce on %zu gradient elements",
+              ranks, mlsl::sync_mode_name(mn.mode),
+              trainer.rank_graph(0).grad_elems());
+  if (mn.mode == mlsl::SyncMode::kOverlap)
+    std::printf(", %zu buckets", trainer.buckets().size());
+  std::printf(")\n");
+
+  // Report in chunks of up to 5 iterations; the final chunk carries the
+  // remainder (a `iters / 5` loop used to drop `iters % 5` iterations and
+  // run nothing at all for iters < 5).
+  for (int done = 0; done < iters;) {
+    const int step = std::min(5, iters - done);
+    const auto st = trainer.train(step, solver);
     std::printf("  iters %3d-%3d: loss %.4f, %.1f aggregate img/s, "
-                "allreduce %zu B/rank\n",
-                chunk * 5, chunk * 5 + 4, st.last_loss,
-                st.images_per_second, st.allreduce_bytes_per_rank);
+                "allreduce %zu B/rank, exposed comm %.2f ms\n",
+                done, done + step - 1, st.last_loss, st.images_per_second,
+                st.allreduce_bytes_per_rank, 1e3 * st.exposed_comm_seconds);
+    done += step;
   }
 
   std::printf("\nprojected strong scaling on the paper's clusters "

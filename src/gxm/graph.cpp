@@ -148,6 +148,20 @@ void Graph::build_etg() {
     if (t.pass == Pass::BWD) bwd_tasks_.push_back(t);
     if (t.pass == Pass::UPD) upd_tasks_.push_back(t);
   }
+
+  // Flat gradient-vector offsets (network-list order, matching export_grads)
+  // and the parameter segments in backward completion order — the contract
+  // the overlapped allreduce buckets are built on.
+  std::size_t off = 0;
+  for (auto& up : nodes_) {
+    if (up->param_count() == 0) continue;
+    grad_offsets_.emplace(up.get(), off);
+    off += up->param_count();
+  }
+  for (const Task& t : bwd_tasks_)
+    if (t.node->param_count() > 0)
+      bwd_param_segs_.push_back(
+          {t.node, grad_offsets_.at(t.node), t.node->param_count()});
 }
 
 void Graph::forward(bool training) {
@@ -155,8 +169,26 @@ void Graph::forward(bool training) {
 }
 
 void Graph::backward_update(const Solver& solver) {
-  for (const Task& t : bwd_tasks_) t.node->backward();
-  for (const Task& t : upd_tasks_) t.node->update(solver);
+  backward_compute_grads();
+  apply_updates(solver);
+}
+
+void Graph::backward_compute_grads(
+    const std::function<void(Node*)>& on_grads_ready) {
+  // A node's UPD shares its BWD's dependencies (see build_etg), so dW can be
+  // computed immediately after the node's own backward: dout was written by
+  // the consumer's earlier backward and backward() only writes bottom grads.
+  for (const Task& t : bwd_tasks_) {
+    t.node->backward();
+    if (t.node->param_count() > 0) {
+      t.node->compute_grads();
+      if (on_grads_ready) on_grads_ready(t.node);
+    }
+  }
+}
+
+void Graph::apply_updates(const Solver& solver) {
+  for (const Task& t : upd_tasks_) t.node->apply_update(solver);
 }
 
 void Graph::train_step(const Solver& solver) {
@@ -197,6 +229,19 @@ void Graph::import_grads(const float* buf) {
     up->import_grads(buf + off);
     off += up->param_count();
   }
+}
+
+void Graph::export_params(float* buf) const {
+  std::size_t off = 0;
+  for (const auto& up : nodes_) {
+    if (up->param_count() == 0) continue;
+    up->export_params(buf + off);
+    off += up->param_count();
+  }
+}
+
+void Graph::export_node_grads(const Node* n, float* flat) const {
+  n->export_grads(flat + grad_offsets_.at(n));
 }
 
 std::vector<Node*> Graph::param_nodes() const {

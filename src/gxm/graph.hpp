@@ -13,6 +13,7 @@
 //   ETG   — duplicates eliminated; final executable schedules
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,6 +32,14 @@ struct Task {
   int level = 0;  ///< topological level (binning key)
 };
 
+/// One parameter-owning node's slice of the flat gradient vector (the
+/// export_grads/import_grads layout, which follows network-list order).
+struct GradSegment {
+  Node* node = nullptr;
+  std::size_t offset = 0;  ///< into the flat gradient vector
+  std::size_t elems = 0;   ///< node->param_count()
+};
+
 struct GraphOptions {
   int vlen = 0;     ///< 0 = derive from the effective ISA
   int threads = 0;  ///< 0 = omp_get_max_threads()
@@ -46,6 +55,17 @@ class Graph {
   /// Backward + weight-gradient passes over the BWD/UPD schedules, applying
   /// the solver update per parameter-owning node.
   void backward_update(const Solver& solver);
+  /// Merged BWD+UPD walk: immediately after a node's backward() its
+  /// compute_grads() runs, so the node's dW is final and
+  /// `on_grads_ready(node)` (if set) fires — in reverse-topological
+  /// (backward) order. The overlapped multi-node trainer posts allreduce
+  /// buckets from this hook while deeper layers are still computing.
+  void backward_compute_grads(
+      const std::function<void(Node*)>& on_grads_ready = {});
+  /// Optimizer step for every parameter-owning node (UPD schedule order).
+  /// With `backward_compute_grads` this completes one training step; the
+  /// multi-node trainer allreduces gradients between the two.
+  void apply_updates(const Solver& solver);
   /// Forward + backward + update (one training iteration).
   void train_step(const Solver& solver);
 
@@ -64,8 +84,18 @@ class Graph {
   std::size_t grad_elems() const;
   void export_grads(float* buf) const;
   void import_grads(const float* buf);
+  /// Serialize all parameters (same layout/offsets as the gradient vector).
+  void export_params(float* buf) const;
   /// Nodes owning parameters, in schedule order.
   std::vector<Node*> param_nodes() const;
+  /// Parameter segments in the order `backward_compute_grads` completes them
+  /// (reverse-topological) — identical across replicas of one topology, the
+  /// basis for the overlap trainer's bucket layout.
+  const std::vector<GradSegment>& bwd_param_segments() const {
+    return bwd_param_segs_;
+  }
+  /// Export a single node's gradients at its flat-vector offset.
+  void export_node_grads(const Node* n, float* flat) const;
 
  private:
   void extend_nl(std::vector<NodeSpec>& nl);           // NL -> ENL
@@ -80,6 +110,8 @@ class Graph {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::string, std::unique_ptr<Port>> ports_;
   std::vector<Task> fwd_tasks_, bwd_tasks_, upd_tasks_;
+  std::vector<GradSegment> bwd_param_segs_;
+  std::map<const Node*, std::size_t> grad_offsets_;
   InputNode* input_ = nullptr;
   SoftmaxLossNode* loss_ = nullptr;
 };

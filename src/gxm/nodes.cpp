@@ -164,6 +164,9 @@ void ConvNode::export_grads(float* buf) const {
 void ConvNode::import_grads(const float* buf) {
   std::memcpy(dwt_.data(), buf, dwt_.size() * sizeof(float));
 }
+void ConvNode::export_params(float* buf) const {
+  std::memcpy(buf, wt_.data(), wt_.size() * sizeof(float));
+}
 
 // ---- BatchNorm -------------------------------------------------------------
 
@@ -311,6 +314,11 @@ void BatchNormNode::import_grads(const float* buf) {
   std::memcpy(dgamma_.data(), buf, dgamma_.size() * sizeof(float));
   std::memcpy(dbeta_.data(), buf + dgamma_.size(),
               dbeta_.size() * sizeof(float));
+}
+void BatchNormNode::export_params(float* buf) const {
+  std::memcpy(buf, gamma_.data(), gamma_.size() * sizeof(float));
+  std::memcpy(buf + gamma_.size(), beta_.data(),
+              beta_.size() * sizeof(float));
 }
 
 // ---- MaxPool ---------------------------------------------------------------
@@ -540,6 +548,10 @@ void InnerProductNode::import_grads(const float* buf) {
   std::memcpy(dwt_.data(), buf, dwt_.size() * sizeof(float));
   std::memcpy(dbias_.data(), buf + dwt_.size(),
               dbias_.size() * sizeof(float));
+}
+void InnerProductNode::export_params(float* buf) const {
+  std::memcpy(buf, wt_.data(), wt_.size() * sizeof(float));
+  std::memcpy(buf + wt_.size(), bias_.data(), bias_.size() * sizeof(float));
 }
 
 // ---- SoftmaxLoss ------------------------------------------------------------

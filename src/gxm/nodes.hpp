@@ -77,8 +77,16 @@ class Node {
   /// Parameter count (weights the node owns).
   virtual std::size_t param_count() const { return 0; }
   /// Serialize gradients into `buf` (for the MLSL allreduce) / read back.
+  /// Gradient-ready contract: after the graph's merged backward walk ran
+  /// this node's backward() + compute_grads(), the exported gradients are
+  /// final for the iteration — the overlap trainer posts them into
+  /// allreduce buckets at that point (Graph::backward_compute_grads hook).
   virtual void export_grads(float* /*buf*/) const {}
   virtual void import_grads(const float* /*buf*/) {}
+  /// Serialize the parameters themselves (same `param_count()` layout as the
+  /// gradients) — replica-sync checks and checkpointing read weights
+  /// uniformly through this.
+  virtual void export_params(float* /*buf*/) const {}
 
   std::vector<Port*> bottoms;
   std::vector<Port*> tops;
@@ -129,6 +137,7 @@ class ConvNode final : public Node {
   std::size_t param_count() const override { return wt_.size(); }
   void export_grads(float* buf) const override;
   void import_grads(const float* buf) override;
+  void export_params(float* buf) const override;
   core::ConvLayer* layer() { return layer_.get(); }
   tensor::WtTensor& weights() { return wt_; }
 
@@ -148,6 +157,7 @@ class BatchNormNode final : public Node {
   std::size_t param_count() const override { return gamma_.size() * 2; }
   void export_grads(float* buf) const override;
   void import_grads(const float* buf) override;
+  void export_params(float* buf) const override;
 
  private:
   std::vector<float> gamma_, beta_, dgamma_, dbeta_, vg_, vb_;
@@ -188,6 +198,7 @@ class InnerProductNode final : public Node {
   std::size_t param_count() const override { return wt_.size() + bias_.size(); }
   void export_grads(float* buf) const override;
   void import_grads(const float* buf) override;
+  void export_params(float* buf) const override;
 
  private:
   int in_c_ = 0, out_k_ = 0;

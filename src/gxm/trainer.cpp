@@ -1,10 +1,24 @@
 #include "gxm/trainer.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "platform/timer.hpp"
 
 namespace xconv::gxm {
 
+namespace {
+// iters == 0 used to yield mean_top1 = 0.0/0 (NaN) and silently zeroed
+// throughput; non-positive iteration counts are caller bugs and fail loudly.
+void check_iters(const char* who, int iters) {
+  if (iters <= 0)
+    throw std::invalid_argument(std::string(who) + ": iters must be > 0, got " +
+                                std::to_string(iters));
+}
+}  // namespace
+
 TrainStats Trainer::train(int iters) {
+  check_iters("Trainer::train", iters);
   TrainStats st;
   st.iterations = iters;
   const int batch = g_.input()->tops[0]->shape.n;
@@ -25,6 +39,7 @@ TrainStats Trainer::train(int iters) {
 }
 
 TrainStats Trainer::inference(int iters) {
+  check_iters("Trainer::inference", iters);
   TrainStats st;
   st.iterations = iters;
   const int batch = g_.input()->tops[0]->shape.n;

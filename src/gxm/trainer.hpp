@@ -27,9 +27,11 @@ class Trainer {
   Trainer(Graph& graph, const Solver& solver) : g_(graph), solver_(solver) {}
 
   /// Run `iters` training iterations; returns throughput/loss statistics.
+  /// Throws std::invalid_argument for non-positive `iters`.
   TrainStats train(int iters);
 
   /// Forward-only inference throughput over `iters` batches.
+  /// Throws std::invalid_argument for non-positive `iters`.
   TrainStats inference(int iters);
 
   /// Per-iteration hook (iteration, loss) — used by tests and examples.

@@ -1,8 +1,8 @@
 #include "mlsl/allreduce.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
-#include <thread>
 
 namespace xconv::mlsl {
 
@@ -10,9 +10,17 @@ Communicator::Communicator(int ranks) : ranks_(ranks) {
   if (ranks < 1) throw std::invalid_argument("Communicator: ranks < 1");
   barrier_ = std::make_unique<std::barrier<>>(ranks_);
   scratch_.resize(ranks_);
+  overlap_bufs_.assign(ranks_, nullptr);
 }
 
-Communicator::~Communicator() = default;
+Communicator::~Communicator() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_comm_ = true;
+  }
+  cv_post_.notify_all();
+  if (comm_thread_.joinable()) comm_thread_.join();
+}
 
 void Communicator::parallel(const std::function<void(int)>& fn) {
   if (ranks_ == 1) {
@@ -47,37 +55,135 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
                                  std::size_t n) {
   if (ranks_ == 1) return;
   const int R = ranks_;
-  // Chunk layout: R near-equal chunks.
+  // Chunk layout: R near-equal chunks, chunk c owned by rank c.
   auto chunk_begin = [&](int c) { return n * c / R; };
   auto chunk_end = [&](int c) { return n * (c + 1) / R; };
 
-  // Reduce-scatter: step s, rank r adds its (r - s - 1)-th chunk into the
-  // next rank's buffer... implemented shared-memory style: each rank owns
-  // chunk r and accumulates all other ranks' chunk-r data into its buffer.
-  // Traffic equivalence with ring reduce-scatter: (R-1)/R * n per rank.
+  // Reduce-scatter: each rank sums all ranks' contributions to its own chunk
+  // in canonical rank order 0..R-1 — the same per-element order the
+  // overlapped bucket path uses, so bulk and overlapped training stay
+  // bit-for-bit comparable. Each rank writes only its own chunk and reads
+  // other chunks only after the closing barrier, so no per-step barriers are
+  // needed; traffic equivalence with a ring reduce-scatter is retained in
+  // the published byte count ((R-1)/R * n per rank).
   barrier();
-  for (int step = 0; step < R - 1; ++step) {
-    const int src = (rank + step + 1) % R;
-    const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
-    const float* other = bufs[src];
-    float* mine = bufs[rank];
-    for (std::size_t i = b; i < e; ++i) mine[i] += other[i];
-    barrier();
+  const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
+  for (std::size_t i = b; i < e; ++i) {
+    float acc = bufs[0][i];
+    for (int r = 1; r < R; ++r) acc += bufs[r][i];
+    bufs[rank][i] = acc;
   }
+  barrier();
   // Allgather: every rank copies the reduced owner-chunks from their owners.
   for (int c = 0; c < R; ++c) {
     if (c == rank) continue;
-    const std::size_t b = chunk_begin(c), e = chunk_end(c);
-    std::memcpy(bufs[rank] + b, bufs[c] + b, (e - b) * sizeof(float));
+    const std::size_t cb = chunk_begin(c), ce = chunk_end(c);
+    std::memcpy(bufs[rank] + cb, bufs[c] + cb, (ce - cb) * sizeof(float));
   }
   // Publish the traffic count *before* the final barrier (it used to be
   // written after, racing with ranks already inside a subsequent call) and
   // through an atomic so concurrent readers are always well-defined.
-  if (rank == 0)
-    last_bytes_.store(2 * (static_cast<std::size_t>(R) - 1) * n *
-                          sizeof(float) / static_cast<std::size_t>(R),
-                      std::memory_order_relaxed);
+  if (rank == 0) last_bytes_.store(ring_bytes(n), std::memory_order_relaxed);
   barrier();
+}
+
+// --- overlapped bucketized allreduce ---------------------------------------
+
+void Communicator::set_buckets(std::vector<GradBucket> buckets) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    buckets_ = std::move(buckets);
+    posted_.assign(buckets_.size(), 0);
+    // Nothing outstanding until overlap_begin opens a round.
+    done_.assign(buckets_.size(), 1);
+    next_bucket_ = buckets_.size();
+  }
+  if (ranks_ > 1 && !comm_thread_.joinable())
+    comm_thread_ = std::thread(&Communicator::comm_loop, this);
+}
+
+void Communicator::overlap_begin(int rank, float* buf) {
+  // The previous round is fully drained (every rank passed wait_all), so the
+  // comm thread is idle and the reset below cannot race with a reduction.
+  barrier();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    overlap_bufs_[rank] = buf;
+    if (rank == 0) {
+      std::fill(posted_.begin(), posted_.end(), 0);
+      std::fill(done_.begin(), done_.end(), static_cast<char>(0));
+      next_bucket_ = 0;
+      overlap_bytes_.store(0, std::memory_order_relaxed);
+    }
+  }
+  barrier();
+}
+
+void Communicator::post_bucket(int rank, std::size_t b) {
+  if (b >= buckets_.size())
+    throw std::out_of_range("Communicator::post_bucket: bad bucket index");
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ranks_ == 1) {  // nothing to reduce; the bucket completes immediately
+    done_[b] = 1;
+    return;
+  }
+  (void)rank;
+  ++posted_[b];
+  cv_post_.notify_one();
+}
+
+void Communicator::wait_bucket(int rank, std::size_t b) {
+  if (b >= buckets_.size())
+    throw std::out_of_range("Communicator::wait_bucket: bad bucket index");
+  (void)rank;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return done_[b] != 0; });
+}
+
+void Communicator::wait_all(int /*rank*/) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return std::all_of(done_.begin(), done_.end(),
+                       [](char d) { return d != 0; });
+  });
+}
+
+void Communicator::comm_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_post_.wait(lk, [&] {
+      return stop_comm_ || (next_bucket_ < buckets_.size() &&
+                            posted_[next_bucket_] == ranks_);
+    });
+    if (stop_comm_) return;
+    // Buckets are reduced strictly in index order; ranks post in the same
+    // order, so a fully-posted bucket b implies 0..b-1 were fully posted
+    // (and therefore already reduced) before it.
+    while (next_bucket_ < buckets_.size() &&
+           posted_[next_bucket_] == ranks_) {
+      const std::size_t b = next_bucket_;
+      lk.unlock();
+      reduce_bucket(buckets_[b]);
+      lk.lock();
+      done_[b] = 1;
+      ++next_bucket_;
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void Communicator::reduce_bucket(const GradBucket& bk) {
+  const int R = ranks_;
+  for (const GradBucket::Segment& seg : bk.segments) {
+    const std::size_t lo = seg.offset, hi = seg.offset + seg.elems;
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Canonical rank-order sum: every rank receives the same bits.
+      float acc = overlap_bufs_[0][i];
+      for (int r = 1; r < R; ++r) acc += overlap_bufs_[r][i];
+      for (int r = 0; r < R; ++r) overlap_bufs_[r][i] = acc;
+    }
+  }
+  overlap_bytes_.fetch_add(ring_bytes(bk.elems), std::memory_order_relaxed);
 }
 
 }  // namespace xconv::mlsl

@@ -4,17 +4,46 @@
 // ring-allreduce (reduce-scatter + allgather) with the same traffic pattern
 // a multi-node MLSL run performs, so gradient averaging across simulated
 // nodes is numerically and structurally faithful.
+//
+// Two gradient-reduction paths are offered:
+//   * allreduce_sum — bulk synchronous allreduce over the whole vector.
+//   * the bucketized async API (set_buckets / overlap_begin / post_bucket /
+//     wait_bucket / wait_all) — size-capped buckets posted in backward order
+//     and reduced by a background communication thread (the stand-in for the
+//     paper's dedicated MLSL comm cores) while ranks keep computing. This is
+//     the mechanism behind the paper's "the allreduce of the gradient
+//     weights in the backward pass is completely overlapped".
+//
+// Both paths sum each element in canonical rank order 0..R-1, so (a) every
+// rank ends up with bit-identical reduced values and (b) bulk and overlapped
+// training trajectories match bit for bit regardless of bucket layout.
 #pragma once
 
 #include <atomic>
 #include <barrier>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 namespace xconv::mlsl {
+
+/// One allreduce bucket: disjoint [offset, offset+elems) slices of the flat
+/// gradient vector that are reduced as a unit. Slices need not be contiguous
+/// — buckets follow the backward completion order of the layers they carry,
+/// while the flat vector keeps the network-list layout.
+struct GradBucket {
+  struct Segment {
+    std::size_t offset = 0;
+    std::size_t elems = 0;
+  };
+  std::vector<Segment> segments;
+  std::size_t elems = 0;  ///< total across segments
+  std::size_t bytes() const { return elems * sizeof(float); }
+};
 
 class Communicator {
  public:
@@ -42,11 +71,64 @@ class Communicator {
     return last_bytes_.load(std::memory_order_relaxed);
   }
 
+  // --- overlapped bucketized allreduce ------------------------------------
+
+  /// Install the bucket layout (identical on every rank) and start the
+  /// background communication thread. Not a collective: call once, outside
+  /// `parallel`, before the first overlapped round.
+  void set_buckets(std::vector<GradBucket> buckets);
+
+  /// Begin an overlapped round (collective): registers this rank's flat
+  /// gradient buffer and resets per-bucket completion state. The previous
+  /// round must have been drained with `wait_all`.
+  void overlap_begin(int rank, float* buf);
+
+  /// Mark this rank's contribution to bucket `b` as ready. The comm thread
+  /// reduces bucket `b` (in bucket-index order) once all ranks posted it.
+  /// After posting, the rank must not touch the bucket's slices of its
+  /// buffer until `wait_bucket(b)` / `wait_all` returns.
+  void post_bucket(int rank, std::size_t b);
+
+  /// Block until bucket `b` holds the reduced sum in this rank's buffer.
+  void wait_bucket(int rank, std::size_t b);
+
+  /// Block until every bucket of the current round is reduced.
+  void wait_all(int rank);
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Ring-model bytes moved per rank by the current/last overlapped round
+  /// (sum over reduced buckets so far).
+  std::size_t overlap_bytes_per_rank() const {
+    return overlap_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void comm_loop();
+  void reduce_bucket(const GradBucket& bk);
+  std::size_t ring_bytes(std::size_t n) const {
+    return 2 * (static_cast<std::size_t>(ranks_) - 1) * n * sizeof(float) /
+           static_cast<std::size_t>(ranks_);
+  }
+
   int ranks_;
   std::unique_ptr<std::barrier<>> barrier_;
   std::vector<std::vector<float>> scratch_;
   std::atomic<std::size_t> last_bytes_{0};
+
+  // Overlap state. `posted_`/`done_`/`next_bucket_` are guarded by `mu_`;
+  // bucket payload data is handed off through the mutex (post -> reduce ->
+  // wait), so rank threads and the comm thread never race on buffer slices.
+  std::vector<GradBucket> buckets_;
+  std::vector<float*> overlap_bufs_;
+  std::vector<int> posted_;
+  std::vector<char> done_;
+  std::size_t next_bucket_ = 0;
+  bool stop_comm_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_post_, cv_done_;
+  std::thread comm_thread_;
+  std::atomic<std::size_t> overlap_bytes_{0};
 };
 
 }  // namespace xconv::mlsl

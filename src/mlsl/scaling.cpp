@@ -1,12 +1,46 @@
 #include "mlsl/scaling.hpp"
 
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
 #include "platform/timer.hpp"
 
 namespace xconv::mlsl {
 
+const char* sync_mode_name(SyncMode m) {
+  return m == SyncMode::kOverlap ? "overlap" : "bulk";
+}
+
+MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
+  MultiNodeOptions o = defaults;
+  if (const char* v = std::getenv("XCONV_MN_MODE")) {
+    const std::string s(v);
+    if (s == "overlap")
+      o.mode = SyncMode::kOverlap;
+    else if (s == "bulk")
+      o.mode = SyncMode::kBulk;
+    else
+      throw std::invalid_argument("XCONV_MN_MODE must be 'bulk' or 'overlap'");
+  }
+  if (const char* v = std::getenv("XCONV_MN_BUCKET_KB")) {
+    char* end = nullptr;
+    errno = 0;
+    const long kb = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || kb <= 0)
+      throw std::invalid_argument(
+          "XCONV_MN_BUCKET_KB must be a positive integer, got '" +
+          std::string(v) + "'");
+    o.bucket_cap_bytes = static_cast<std::size_t>(kb) * 1024;
+  }
+  return o;
+}
+
 MultiNodeTrainer::MultiNodeTrainer(const std::vector<gxm::NodeSpec>& topology,
-                                   int nodes, const gxm::GraphOptions& opt)
-    : nodes_(nodes), comm_(nodes) {
+                                   int nodes, const gxm::GraphOptions& opt,
+                                   const MultiNodeOptions& mn)
+    : nodes_(nodes), mn_(mn), comm_(nodes) {
   graphs_.reserve(nodes_);
   for (int r = 0; r < nodes_; ++r) {
     gxm::GraphOptions o = opt;
@@ -15,14 +49,46 @@ MultiNodeTrainer::MultiNodeTrainer(const std::vector<gxm::NodeSpec>& topology,
   }
   const std::size_t ge = graphs_[0]->grad_elems();
   grad_bufs_.assign(nodes_, std::vector<float>(ge, 0.0f));
+  if (mn_.mode == SyncMode::kOverlap) {
+    build_buckets();
+    comm_.set_buckets(buckets_);
+  }
+}
+
+// Pack parameter-owning layers into size-capped buckets in backward
+// completion order. The layout is identical on every rank (schedules are
+// deterministic per topology), so bucket b means the same layers and the
+// same flat-vector slices everywhere.
+void MultiNodeTrainer::build_buckets() {
+  const auto& segs = graphs_[0]->bwd_param_segments();
+  GradBucket cur;
+  std::size_t params_seen = 0;
+  for (const gxm::GradSegment& s : segs) {
+    cur.segments.push_back({s.offset, s.elems});
+    cur.elems += s.elems;
+    ++params_seen;
+    if (cur.bytes() >= mn_.bucket_cap_bytes) {
+      buckets_.push_back(std::move(cur));
+      bucket_last_param_.push_back(params_seen);
+      cur = GradBucket{};
+    }
+  }
+  if (cur.elems > 0) {
+    buckets_.push_back(std::move(cur));
+    bucket_last_param_.push_back(params_seen);
+  }
 }
 
 MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
+  if (iters <= 0)
+    throw std::invalid_argument("MultiNodeTrainer::train: iters must be > 0");
   MultiNodeStats st;
   st.nodes = nodes_;
   st.iterations = iters;
+  st.mode = sync_mode_name(mn_.mode);
   const std::size_t ge = graphs_[0]->grad_elems();
   const int batch = graphs_[0]->input()->tops[0]->shape.n;
+  const bool overlap = mn_.mode == SyncMode::kOverlap;
   std::vector<float*> bufs(nodes_);
   for (int r = 0; r < nodes_; ++r) bufs[r] = grad_bufs_[r].data();
 
@@ -31,19 +97,39 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
     comm_.parallel([&](int rank) {
       gxm::Graph& g = *graphs_[rank];
       g.forward(true);
-      // Backward propagation, then the weight-gradient (UPD) computation;
-      // the allreduce averages gradients across nodes before every rank
-      // applies the identical SGD step (replicas stay in sync).
-      for (const gxm::Task& task : g.bwd_schedule()) task.node->backward();
-      for (const gxm::Task& task : g.upd_schedule())
-        task.node->compute_grads();
-      g.export_grads(bufs[rank]);
-      comm_.allreduce_sum(rank, bufs, ge);
+      double exposed_s = 0;
+      if (overlap) {
+        // Post buckets while deeper layers are still in backward/UPD; the
+        // background comm thread reduces them concurrently. Only the
+        // residual tail before apply_update is exposed.
+        comm_.overlap_begin(rank, bufs[rank]);
+        std::size_t param_idx = 0, bucket = 0;
+        g.backward_compute_grads([&](gxm::Node* n) {
+          g.export_node_grads(n, bufs[rank]);
+          ++param_idx;
+          if (bucket < buckets_.size() &&
+              param_idx == bucket_last_param_[bucket]) {
+            comm_.post_bucket(rank, bucket);
+            ++bucket;
+          }
+        });
+        platform::Timer tw;
+        comm_.wait_all(rank);
+        exposed_s = tw.seconds();
+      } else {
+        // Bulk baseline: backward + UPD complete before one synchronous
+        // allreduce of the entire gradient vector.
+        g.backward_compute_grads();
+        g.export_grads(bufs[rank]);
+        platform::Timer ta;
+        comm_.allreduce_sum(rank, bufs, ge);
+        exposed_s = ta.seconds();
+      }
       const float inv = 1.0f / static_cast<float>(nodes_);
       for (std::size_t i = 0; i < ge; ++i) bufs[rank][i] *= inv;
       g.import_grads(bufs[rank]);
-      for (const gxm::Task& task : g.upd_schedule())
-        task.node->apply_update(solver);
+      g.apply_updates(solver);
+      if (rank == 0) st.exposed_comm_seconds += exposed_s;
     });
     st.last_loss = graphs_[0]->loss();
   }
@@ -52,7 +138,10 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
       st.seconds > 0
           ? static_cast<double>(iters) * batch * nodes_ / st.seconds
           : 0;
-  st.allreduce_bytes_per_rank = comm_.last_bytes_per_rank();
+  st.allreduce_bytes_per_rank = overlap ? comm_.overlap_bytes_per_rank()
+                                        : comm_.last_bytes_per_rank();
+  st.bucket_count = overlap ? buckets_.size() : 0;
+  st.bucket_bytes = ge * sizeof(float);
   return st;
 }
 

@@ -13,7 +13,11 @@ float compute_scale(const float* x, std::size_t n) {
 
 std::int16_t quantize_one(float x, float scale) {
   const float q = std::nearbyint(x / scale);
-  const float c = std::clamp(q, -32768.0f, 32767.0f);
+  // Clamp to the headroom-limited range ±kQMax, not int16's full range: an
+  // external/calibrated scale can map |x| past kQMax, and any |q| > kQMax
+  // voids the int32 accumulation-chain overflow guarantee (Section II-K).
+  const float c = std::clamp(q, -static_cast<float>(kQMax),
+                             static_cast<float>(kQMax));
   return static_cast<std::int16_t>(c);
 }
 

@@ -23,6 +23,23 @@ GraphOptions quick_opts(unsigned seed = 1) {
 }
 }  // namespace
 
+TEST(Training, NonPositiveItersThrows) {
+  // Regression: iters == 0 yielded mean_top1 = 0.0/0 (NaN) and zeroed
+  // throughput with no signal; non-positive iteration counts now fail loudly.
+  Graph g(gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4)),
+          quick_opts());
+  Solver s;
+  Trainer t(g, s);
+  EXPECT_THROW(t.train(0), std::invalid_argument);
+  EXPECT_THROW(t.train(-1), std::invalid_argument);
+  EXPECT_THROW(t.inference(0), std::invalid_argument);
+  EXPECT_THROW(t.inference(-7), std::invalid_argument);
+  // Positive iteration counts keep returning finite, well-defined stats.
+  const auto st = t.train(1);
+  EXPECT_EQ(st.iterations, 1);
+  EXPECT_TRUE(std::isfinite(st.mean_top1));
+}
+
 TEST(Training, LossDecreasesOnResNetMini) {
   Graph g(gxm::parse_topology(topo::resnet_mini_topology(8, 32, 4)),
           quick_opts());

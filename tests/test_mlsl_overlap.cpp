@@ -1,0 +1,288 @@
+// Overlapped bucketized gradient allreduce (paper: "the allreduce of the
+// gradient weights in the backward pass is completely overlapped"): async
+// bucket API correctness, the backward-order bucket layout, and the
+// multi-node replica-sync invariant — after k iterations in bulk and overlap
+// modes all rank weights are bitwise identical, and overlap-mode training
+// matches bulk-mode training bit for bit under fuzzed bucket-size caps.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "gxm/trainer.hpp"
+#include "mlsl/allreduce.hpp"
+#include "mlsl/scaling.hpp"
+#include "test_helpers.hpp"
+#include "topo/resnet50.hpp"
+
+using namespace xconv;
+using xconv::testing::random_vec;
+
+namespace {
+
+// Canonical rank-order serial sum — the bit pattern both allreduce paths
+// must produce on every rank.
+std::vector<float> canonical_sum(const std::vector<std::vector<float>>& data) {
+  std::vector<float> want(data[0].size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    float acc = data[0][i];
+    for (std::size_t r = 1; r < data.size(); ++r) acc += data[r][i];
+    want[i] = acc;
+  }
+  return want;
+}
+
+std::vector<mlsl::GradBucket> make_buckets(
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges) {
+  std::vector<mlsl::GradBucket> out;
+  for (const auto& [off, elems] : ranges) {
+    mlsl::GradBucket b;
+    b.segments.push_back({off, elems});
+    b.elems = elems;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(OverlapAllreduce, BucketSumsMatchCanonicalOrderBitwise) {
+  const int R = 4;
+  const std::size_t n = 1000;
+  mlsl::Communicator comm(R);
+  comm.set_buckets(make_buckets({{0, 300}, {300, 500}, {800, 200}}));
+  std::vector<std::vector<float>> data(R);
+  for (int r = 0; r < R; ++r) data[r] = random_vec(n, 40 + r);
+  const auto want = canonical_sum(data);
+  comm.parallel([&](int rank) {
+    comm.overlap_begin(rank, data[rank].data());
+    for (std::size_t b = 0; b < comm.bucket_count(); ++b)
+      comm.post_bucket(rank, b);
+    comm.wait_all(rank);
+  });
+  for (int r = 0; r < R; ++r)
+    ASSERT_EQ(0, std::memcmp(want.data(), data[r].data(), n * sizeof(float)))
+        << "rank " << r;
+}
+
+TEST(OverlapAllreduce, MatchesBulkAllreduceBitwise) {
+  // The whole point of the canonical reduction order: a bucketized async
+  // round and one bulk allreduce_sum over the same inputs agree bit for bit.
+  const int R = 3;
+  const std::size_t n = 1537;
+  std::vector<std::vector<float>> a(R), b(R);
+  for (int r = 0; r < R; ++r) a[r] = b[r] = random_vec(n, 7 + r);
+
+  mlsl::Communicator bulk(R);
+  std::vector<float*> bufs(R);
+  for (int r = 0; r < R; ++r) bufs[r] = a[r].data();
+  bulk.parallel([&](int rank) { bulk.allreduce_sum(rank, bufs, n); });
+
+  mlsl::Communicator over(R);
+  over.set_buckets(make_buckets({{0, 512}, {512, 512}, {1024, 513}}));
+  over.parallel([&](int rank) {
+    over.overlap_begin(rank, b[rank].data());
+    for (std::size_t k = 0; k < over.bucket_count(); ++k)
+      over.post_bucket(rank, k);
+    over.wait_all(rank);
+  });
+  for (int r = 0; r < R; ++r)
+    ASSERT_EQ(0, std::memcmp(a[r].data(), b[r].data(), n * sizeof(float)))
+        << "rank " << r;
+}
+
+TEST(OverlapAllreduce, PerBucketWaitAndReuseAcrossRounds) {
+  const int R = 2;
+  const std::size_t n = 128;
+  mlsl::Communicator comm(R);
+  comm.set_buckets(make_buckets({{0, 64}, {64, 64}}));
+  std::vector<std::vector<float>> data(R);
+  for (int rounds = 0; rounds < 5; ++rounds) {
+    for (int r = 0; r < R; ++r)
+      data[r].assign(n, static_cast<float>(r + 1 + rounds));
+    comm.parallel([&](int rank) {
+      comm.overlap_begin(rank, data[rank].data());
+      comm.post_bucket(rank, 0);
+      comm.wait_bucket(rank, 0);  // bucket 0 complete before 1 is posted
+      EXPECT_FLOAT_EQ(data[rank][0], static_cast<float>(3 + 2 * rounds));
+      comm.post_bucket(rank, 1);
+      comm.wait_all(rank);
+      EXPECT_FLOAT_EQ(data[rank][n - 1], static_cast<float>(3 + 2 * rounds));
+    });
+  }
+}
+
+TEST(OverlapAllreduce, SingleRankCompletesImmediately) {
+  mlsl::Communicator comm(1);
+  comm.set_buckets(make_buckets({{0, 16}}));
+  std::vector<float> v = random_vec(16, 3);
+  const std::vector<float> orig = v;
+  comm.overlap_begin(0, v.data());
+  comm.post_bucket(0, 0);
+  comm.wait_all(0);
+  EXPECT_EQ(0, std::memcmp(orig.data(), v.data(), v.size() * sizeof(float)));
+}
+
+namespace {
+
+gxm::GraphOptions mini_opt(unsigned seed = 5) {
+  gxm::GraphOptions opt;
+  opt.threads = 1;
+  opt.seed = seed;
+  return opt;
+}
+
+// Weights of every parameter-owning node, serialized in the flat layout.
+std::vector<float> all_params(gxm::Graph& g) {
+  std::vector<float> out(g.grad_elems());
+  g.export_params(out.data());
+  return out;
+}
+
+}  // namespace
+
+TEST(MultiNodeOverlap, BucketLayoutRespectsCapAndBackwardOrder) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  mlsl::MultiNodeOptions mn;
+  mn.mode = mlsl::SyncMode::kOverlap;
+  mn.bucket_cap_bytes = 16 << 10;
+  mlsl::MultiNodeTrainer mt(nl, 2, mini_opt(), mn);
+
+  const auto& segs = mt.rank_graph(0).bwd_param_segments();
+  ASSERT_FALSE(segs.empty());
+  const auto& buckets = mt.buckets();
+  ASSERT_GT(buckets.size(), 1u);
+  std::size_t total = 0, seg_idx = 0;
+  for (const auto& b : buckets) {
+    ASSERT_FALSE(b.segments.empty());
+    // Cap respected unless the bucket holds a single oversized layer.
+    if (b.segments.size() > 1)
+      EXPECT_LE((b.elems - b.segments.back().elems) * sizeof(float),
+                mn.bucket_cap_bytes);
+    for (const auto& s : b.segments) {
+      // Buckets cover bwd_param_segments in order, with matching slices.
+      ASSERT_LT(seg_idx, segs.size());
+      EXPECT_EQ(s.offset, segs[seg_idx].offset);
+      EXPECT_EQ(s.elems, segs[seg_idx].elems);
+      ++seg_idx;
+    }
+    total += b.elems;
+  }
+  EXPECT_EQ(seg_idx, segs.size());
+  EXPECT_EQ(total, mt.rank_graph(0).grad_elems());
+  // Backward order: the first bucket carries the deepest (loss-side) layer,
+  // i.e. NOT the first segment of the flat (network-list) layout.
+  EXPECT_NE(buckets.front().segments.front().offset, 0u);
+}
+
+TEST(MultiNodeOverlap, ReplicasStayBitwiseInSyncInBothModes) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::Solver s;
+  s.lr = 0.01f;
+  for (const mlsl::SyncMode mode :
+       {mlsl::SyncMode::kBulk, mlsl::SyncMode::kOverlap}) {
+    mlsl::MultiNodeOptions mn;
+    mn.mode = mode;
+    mn.bucket_cap_bytes = 32 << 10;
+    mlsl::MultiNodeTrainer mt(nl, 3, mini_opt(), mn);
+    mt.train(3, s);
+    const auto w0 = all_params(mt.rank_graph(0));
+    for (int r = 1; r < 3; ++r) {
+      const auto wr = all_params(mt.rank_graph(r));
+      ASSERT_EQ(0,
+                std::memcmp(w0.data(), wr.data(), w0.size() * sizeof(float)))
+          << mlsl::sync_mode_name(mode) << " rank " << r;
+    }
+  }
+}
+
+TEST(MultiNodeOverlap, MatchesBulkBitwiseUnderFuzzedBucketCaps) {
+  // The equivalence the canonical reduction order buys: overlap-mode losses
+  // and weights match bulk mode bit for bit on the same seeds, regardless of
+  // how the gradient vector is cut into buckets.
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::Solver s;
+  s.lr = 0.01f;
+  const int R = 2, iters = 3;
+
+  mlsl::MultiNodeTrainer bulk(nl, R, mini_opt(11));
+  std::vector<float> bulk_losses;
+  for (int i = 0; i < iters; ++i)
+    bulk_losses.push_back(bulk.train(1, s).last_loss);
+  const auto bulk_w = all_params(bulk.rank_graph(0));
+
+  std::mt19937 rng(2026);
+  std::uniform_int_distribution<std::size_t> cap_dist(64, 96 << 10);
+  std::vector<std::size_t> caps = {64, 4 << 10, 1 << 30};  // 1-per, mid, all
+  for (int f = 0; f < 3; ++f) caps.push_back(cap_dist(rng));
+
+  for (const std::size_t cap : caps) {
+    mlsl::MultiNodeOptions mn;
+    mn.mode = mlsl::SyncMode::kOverlap;
+    mn.bucket_cap_bytes = cap;
+    mlsl::MultiNodeTrainer over(nl, R, mini_opt(11), mn);
+    for (int i = 0; i < iters; ++i) {
+      const auto st = over.train(1, s);
+      ASSERT_EQ(bulk_losses[i], st.last_loss)
+          << "cap=" << cap << " iter=" << i;
+    }
+    const auto over_w = all_params(over.rank_graph(0));
+    ASSERT_EQ(0, std::memcmp(bulk_w.data(), over_w.data(),
+                             bulk_w.size() * sizeof(float)))
+        << "cap=" << cap;
+  }
+}
+
+TEST(MultiNodeOverlap, StatsReportBucketsAndExposedComm) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::Solver s;
+  s.lr = 0.01f;
+  mlsl::MultiNodeOptions mn;
+  mn.mode = mlsl::SyncMode::kOverlap;
+  mn.bucket_cap_bytes = 8 << 10;
+  mlsl::MultiNodeTrainer mt(nl, 2, mini_opt(), mn);
+  const auto st = mt.train(2, s);
+  EXPECT_STREQ(st.mode, "overlap");
+  EXPECT_EQ(st.bucket_count, mt.buckets().size());
+  EXPECT_GT(st.bucket_count, 1u);
+  EXPECT_EQ(st.bucket_bytes, mt.rank_graph(0).grad_elems() * sizeof(float));
+  EXPECT_GE(st.exposed_comm_seconds, 0.0);
+  EXPECT_GT(st.allreduce_bytes_per_rank, 0u);
+
+  mlsl::MultiNodeTrainer bk(nl, 2, mini_opt());
+  const auto bst = bk.train(2, s);
+  EXPECT_STREQ(bst.mode, "bulk");
+  EXPECT_EQ(bst.bucket_count, 0u);
+  EXPECT_EQ(bst.bucket_bytes, st.bucket_bytes);  // same payload, both modes
+  EXPECT_GT(bst.exposed_comm_seconds, 0.0);
+}
+
+TEST(MultiNodeOverlap, NonPositiveItersThrows) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  mlsl::MultiNodeTrainer mt(nl, 1, mini_opt());
+  gxm::Solver s;
+  EXPECT_THROW(mt.train(0, s), std::invalid_argument);
+  EXPECT_THROW(mt.train(-2, s), std::invalid_argument);
+}
+
+TEST(MultiNodeOptions, EnvOverrides) {
+  mlsl::MultiNodeOptions defaults;
+  ::setenv("XCONV_MN_MODE", "overlap", 1);
+  ::setenv("XCONV_MN_BUCKET_KB", "64", 1);
+  const auto o = mlsl::MultiNodeOptions::from_env(defaults);
+  EXPECT_EQ(o.mode, mlsl::SyncMode::kOverlap);
+  EXPECT_EQ(o.bucket_cap_bytes, std::size_t{64} << 10);
+  ::setenv("XCONV_MN_MODE", "sideways", 1);
+  EXPECT_THROW(mlsl::MultiNodeOptions::from_env(defaults),
+               std::invalid_argument);
+  ::setenv("XCONV_MN_MODE", "bulk", 1);
+  ::setenv("XCONV_MN_BUCKET_KB", "0", 1);
+  EXPECT_THROW(mlsl::MultiNodeOptions::from_env(defaults),
+               std::invalid_argument);
+  ::setenv("XCONV_MN_BUCKET_KB", "1e3", 1);  // trailing garbage, not 1 KiB
+  EXPECT_THROW(mlsl::MultiNodeOptions::from_env(defaults),
+               std::invalid_argument);
+  ::unsetenv("XCONV_MN_MODE");
+  ::unsetenv("XCONV_MN_BUCKET_KB");
+}

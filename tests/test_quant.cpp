@@ -23,6 +23,22 @@ TEST(Quantize, ZeroTensorScaleIsOne) {
   EXPECT_EQ(quant::compute_scale(v.data(), v.size()), 1.0f);
 }
 
+TEST(Quantize, ExternalScaleClampsToHeadroomRange) {
+  // Regression: quantize_one used to clamp to the full int16 range
+  // [-32768, 32767]. With an external/calibrated scale (not derived from
+  // this tensor's amax) |q| could exceed kQMax, silently voiding the int32
+  // accumulation-chain overflow guarantee (paper Section II-K). The clamp
+  // must be the headroom-limited ±kQMax.
+  const float scale = 0.001f;
+  EXPECT_EQ(quant::quantize_one(5.0f, scale), quant::kQMax);    // q = 5000
+  EXPECT_EQ(quant::quantize_one(-5.0f, scale), -quant::kQMax);
+  EXPECT_EQ(quant::quantize_one(100.0f, scale), quant::kQMax);  // q = 100000
+  EXPECT_EQ(quant::quantize_one(-100.0f, scale), -quant::kQMax);
+  // In-range values are untouched by the clamp.
+  EXPECT_EQ(quant::quantize_one(0.5f, scale), 500);
+  EXPECT_EQ(quant::quantize_one(-1.024f, scale), -quant::kQMax);
+}
+
 TEST(Quantize, RoundTripErrorBounded) {
   const auto v = random_vec(4096, 3);
   const float s = quant::compute_scale(v.data(), v.size());

@@ -1,15 +1,30 @@
-// Multi-node gradient-sync benchmark: times bulk (synchronous whole-vector
-// allreduce) vs overlapped bucketized allreduce on the ResNet-mini and
-// ResNet-50 GxM topologies and writes a BENCH_overlap.json trajectory file
-// (per-mode img/s plus exposed-comm seconds) alongside the existing streams
-// trajectory — the measured counterpart of mlsl::project_scaling's analytic
-// overlap model.
+// Multi-node gradient-sync benchmark: sweeps payload codec (fp32 | int16 |
+// bf16) x sync mode (bulk | overlap) x comm-thread count on the ResNet-mini
+// and ResNet-50 GxM topologies and writes a BENCH_overlap.json trajectory
+// file — per-run img/s, exposed-comm seconds, wire bytes and compression
+// ratio — alongside the existing streams trajectory.
+//
+// Each topology's bulk/fp32 run doubles as the calibration anchor for
+// mlsl::project_scaling's analytic overlap model: its measured allreduce
+// time yields an effective NetworkModel (NetworkModel::from_measured), and
+// every row then carries a `projected_exposed_comm_s` column next to the
+// measured one — the ROADMAP's measured-vs-projected reconciliation. Gaps
+// between the two are the model's unmodeled terms (codec encode/decode
+// compute, scheduling noise), which is exactly what the comparison is for.
+//
+// The simulated wire (XCONV_MN_WIRE_GBS / --wire-gbs, default 0.1 GB/s
+// here; 0 disables) makes reductions wait out their ring transmission time,
+// so compressed payloads genuinely shrink exposed communication instead of
+// only the byte counters. The default is chosen so comm time is comparable
+// to compute on the mini topology — the regime the overlap machinery (and
+// Figure 9) is about.
 //
 // Usage:
 //   bench_overlap [--set=mini|resnet50|all] [--nodes=N] [--iters=K]
-//                 [--out=PATH]
+//                 [--wire-gbs=G] [--out=PATH]
 // Environment: XCONV_MB (minibatch per rank, default 4), XCONV_MN_BUCKET_KB
-// (overlap bucket cap, default 256), plus the library-wide knobs.
+// (overlap bucket cap, default 256), XCONV_MN_WIRE_GBS (overrides
+// --wire-gbs), plus the library-wide knobs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "mlsl/netmodel.hpp"
 #include "mlsl/scaling.hpp"
 #include "topo/resnet50.hpp"
 
@@ -27,40 +43,52 @@ namespace {
 struct OverlapResult {
   std::string topology;
   std::string mode;
+  std::string codec;
+  int comm_threads = 1;
   double img_s = 0;
   double exposed_comm_s = 0;  ///< per run (iters iterations), rank 0
+  double projected_exposed_comm_s = 0;  ///< analytic model, same window
   std::size_t bucket_count = 0;
   std::size_t bucket_bytes = 0;
   std::size_t allreduce_bytes_per_rank = 0;
+  std::size_t wire_bytes_per_rank = 0;
+  double compression_ratio = 1.0;
+  double residual_l2 = 0;
   float last_loss = 0;
 };
 
 bool write_overlap_json(const std::string& path, int nodes, int iters, int mb,
-                        std::size_t bucket_cap_bytes,
+                        std::size_t bucket_cap_bytes, double wire_gbs,
                         const std::vector<OverlapResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"overlap\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"isa\": \"%s\",\n",
                platform::isa_name(platform::effective_isa()));
   std::fprintf(f, "  \"nodes\": %d,\n", nodes);
   std::fprintf(f, "  \"iters\": %d,\n", iters);
   std::fprintf(f, "  \"minibatch\": %d,\n", mb);
   std::fprintf(f, "  \"bucket_cap_bytes\": %zu,\n", bucket_cap_bytes);
+  std::fprintf(f, "  \"wire_gbs\": %.6f,\n", wire_gbs);
   std::fprintf(f, "  \"results\": [");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const OverlapResult& r = results[i];
-    std::fprintf(f,
-                 "%s\n    {\"topology\": \"%s\", \"mode\": \"%s\", "
-                 "\"img_s\": %.3f, \"exposed_comm_s\": %.6f, "
-                 "\"bucket_count\": %zu, \"bucket_bytes\": %zu, "
-                 "\"allreduce_bytes_per_rank\": %zu, \"last_loss\": %.6f}",
-                 i == 0 ? "" : ",", bench::json_escape(r.topology).c_str(),
-                 bench::json_escape(r.mode).c_str(), r.img_s,
-                 r.exposed_comm_s, r.bucket_count, r.bucket_bytes,
-                 r.allreduce_bytes_per_rank, r.last_loss);
+    std::fprintf(
+        f,
+        "%s\n    {\"topology\": \"%s\", \"mode\": \"%s\", \"codec\": \"%s\", "
+        "\"comm_threads\": %d, \"img_s\": %.3f, \"exposed_comm_s\": %.6f, "
+        "\"projected_exposed_comm_s\": %.6f, \"bucket_count\": %zu, "
+        "\"bucket_bytes\": %zu, \"allreduce_bytes_per_rank\": %zu, "
+        "\"wire_bytes_per_rank\": %zu, \"compression_ratio\": %.4f, "
+        "\"residual_l2\": %.6g, \"last_loss\": %.6f}",
+        i == 0 ? "" : ",", bench::json_escape(r.topology).c_str(),
+        bench::json_escape(r.mode).c_str(), bench::json_escape(r.codec).c_str(),
+        r.comm_threads, r.img_s, r.exposed_comm_s, r.projected_exposed_comm_s,
+        r.bucket_count, r.bucket_bytes, r.allreduce_bytes_per_rank,
+        r.wire_bytes_per_rank, r.compression_ratio, r.residual_l2,
+        r.last_loss);
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
@@ -73,6 +101,7 @@ int main(int argc, char** argv) {
   std::string set = "mini";
   std::string out = "BENCH_overlap.json";
   int nodes = 2, iters = 10;
+  double wire_gbs = 0.1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg(argv[i]);
     if (arg.rfind("--set=", 0) == 0)
@@ -83,16 +112,18 @@ int main(int argc, char** argv) {
       nodes = std::atoi(arg.c_str() + 8);
     else if (arg.rfind("--iters=", 0) == 0)
       iters = std::atoi(arg.c_str() + 8);
+    else if (arg.rfind("--wire-gbs=", 0) == 0)
+      wire_gbs = std::atof(arg.c_str() + 11);
     else {
       std::fprintf(stderr,
                    "usage: %s [--set=mini|resnet50|all] [--nodes=N] "
-                   "[--iters=K] [--out=PATH]\n",
+                   "[--iters=K] [--wire-gbs=G] [--out=PATH]\n",
                    argv[0]);
       return 2;
     }
   }
   if ((set != "mini" && set != "resnet50" && set != "all") || nodes < 1 ||
-      iters < 1) {
+      iters < 1 || wire_gbs < 0) {
     std::fprintf(stderr, "bench_overlap: bad arguments\n");
     return 2;
   }
@@ -100,6 +131,7 @@ int main(int argc, char** argv) {
   const int mb = platform::bench_minibatch(4);
   mlsl::MultiNodeOptions mn_base;
   mn_base.bucket_cap_bytes = std::size_t{256} << 10;  // several buckets/net
+  mn_base.wire_gbs = wire_gbs;
   mn_base = mlsl::MultiNodeOptions::from_env(mn_base);
 
   struct Topology {
@@ -113,44 +145,100 @@ int main(int argc, char** argv) {
     // Reduced resolution keeps the full 53-conv topology tractable on CI.
     topos.push_back({"resnet50", topo::resnet50_topology(mb, 56, 100)});
 
-  std::printf("bench_overlap: bulk vs overlapped allreduce | nodes=%d "
-              "iters=%d mb=%d bucket_cap=%zu KiB\n",
-              nodes, iters, mb, mn_base.bucket_cap_bytes >> 10);
-  std::printf("%-12s %-8s %10s %14s %8s %12s\n", "topology", "mode", "img/s",
-              "exposed ms", "buckets", "B/rank");
+  std::printf("bench_overlap: codec x mode x comm-threads sweep | nodes=%d "
+              "iters=%d mb=%d bucket_cap=%zu KiB wire=%.3f GB/s\n",
+              nodes, iters, mb, mn_base.bucket_cap_bytes >> 10,
+              mn_base.wire_gbs);
+  std::printf("%-12s %-8s %-6s %3s %9s %11s %11s %12s %6s\n", "topology",
+              "mode", "codec", "thr", "img/s", "exposed ms", "proj ms",
+              "wire B/rank", "ratio");
+
+  struct Run {
+    mlsl::SyncMode mode;
+    mlsl::Codec codec;
+    int threads;
+  };
+  std::vector<Run> runs;
+  for (const mlsl::Codec c :
+       {mlsl::Codec::kFp32, mlsl::Codec::kInt16, mlsl::Codec::kBf16})
+    runs.push_back({mlsl::SyncMode::kBulk, c, 1});
+  for (const mlsl::Codec c :
+       {mlsl::Codec::kFp32, mlsl::Codec::kInt16, mlsl::Codec::kBf16})
+    for (const int thr : {1, 2})
+      runs.push_back({mlsl::SyncMode::kOverlap, c, thr});
 
   std::vector<OverlapResult> results;
   for (const Topology& tp : topos) {
     const auto nl = gxm::parse_topology(tp.text);
-    for (const mlsl::SyncMode mode :
-         {mlsl::SyncMode::kBulk, mlsl::SyncMode::kOverlap}) {
+    // Per-topology calibration state, filled by the bulk/fp32 run (always
+    // the first of the sweep): effective wire model + compute time.
+    mlsl::NetworkModel measured_net;
+    double t_compute = 0;
+    for (const Run& run : runs) {
       gxm::GraphOptions gopt;
       gopt.threads = 1;  // ranks are threads; avoid nested-OMP oversubscribe
       mlsl::MultiNodeOptions mn = mn_base;
-      mn.mode = mode;
+      mn.mode = run.mode;
+      mn.codec = run.codec;
+      mn.comm_threads = run.threads;
       mlsl::MultiNodeTrainer trainer(nl, nodes, gopt, mn);
       gxm::Solver solver;
       solver.lr = 0.01f;
       trainer.train(1, solver);  // warmup (JIT, allocation touch)
       const auto st = trainer.train(iters, solver);
+
+      const double t_iter = st.seconds / iters;
+      const double t_ar = st.exposed_comm_seconds / iters;
+      if (run.mode == mlsl::SyncMode::kBulk &&
+          run.codec == mlsl::Codec::kFp32) {
+        // Calibrate the analytic model on the measured bulk fp32 allreduce:
+        // bulk exposes the entire allreduce, so its per-iteration exposed
+        // time *is* the ring time of the fp32 gradient payload.
+        measured_net =
+            mlsl::NetworkModel::from_measured(st.bucket_bytes, nodes, t_ar);
+        t_compute = t_iter > t_ar ? t_iter - t_ar : t_iter;
+      }
+
+      // Analytic projection for this row (ROADMAP reconciliation): same
+      // compute time, ring time scaled to this codec's payload bytes,
+      // overlap hiding per the model's backward window.
+      mlsl::ScalingConfig cfg;
+      cfg.local_minibatch = mb;
+      cfg.single_node_img_s = t_compute > 0 ? mb / t_compute : 0;
+      cfg.gradient_bytes = (st.bucket_bytes / sizeof(float)) *
+                           mlsl::codec_payload_bytes(run.codec);
+      cfg.comm_core_penalty = 1.0;
+      cfg.sync_overhead_frac = 0.0;
+      if (run.mode == mlsl::SyncMode::kBulk) cfg.backward_fraction = 0.0;
+      cfg.net = measured_net;
+      const auto pt = mlsl::project_scaling(cfg, nodes);
+
       OverlapResult r;
       r.topology = tp.name;
       r.mode = st.mode;
+      r.codec = st.codec;
+      r.comm_threads = st.comm_threads;
       r.img_s = st.images_per_second;
       r.exposed_comm_s = st.exposed_comm_seconds;
+      r.projected_exposed_comm_s = pt.exposed_comm_ms * 1e-3 * iters;
       r.bucket_count = st.bucket_count;
       r.bucket_bytes = st.bucket_bytes;
       r.allreduce_bytes_per_rank = st.allreduce_bytes_per_rank;
+      r.wire_bytes_per_rank = st.wire_bytes_per_rank;
+      r.compression_ratio = st.compression_ratio;
+      r.residual_l2 = st.residual_l2;
       r.last_loss = st.last_loss;
       results.push_back(r);
-      std::printf("%-12s %-8s %10.1f %14.3f %8zu %12zu\n", r.topology.c_str(),
-                  r.mode.c_str(), r.img_s, 1e3 * r.exposed_comm_s,
-                  r.bucket_count, r.allreduce_bytes_per_rank);
+      std::printf("%-12s %-8s %-6s %3d %9.1f %11.3f %11.3f %12zu %6.2f\n",
+                  r.topology.c_str(), r.mode.c_str(), r.codec.c_str(),
+                  r.comm_threads, r.img_s, 1e3 * r.exposed_comm_s,
+                  1e3 * r.projected_exposed_comm_s, r.wire_bytes_per_rank,
+                  r.compression_ratio);
     }
   }
 
   if (!write_overlap_json(out, nodes, iters, mb, mn_base.bucket_cap_bytes,
-                          results)) {
+                          mn_base.wire_gbs, results)) {
     std::fprintf(stderr, "bench_overlap: cannot write %s\n", out.c_str());
     return 1;
   }

@@ -7,7 +7,11 @@
 // Usage: ./examples/multinode_training [ranks] [iters]
 // Environment: XCONV_MN_MODE=bulk|overlap selects the gradient-sync path
 // (overlap posts size-capped buckets during backward — the paper's
-// overlapped allreduce), XCONV_MN_BUCKET_KB caps the bucket payload.
+// overlapped allreduce — and applies each bucket's update as it completes),
+// XCONV_MN_BUCKET_KB caps the bucket payload, XCONV_MN_CODEC=fp32|int16|bf16
+// picks the wire codec (compressed codecs halve wire bytes, with error
+// feedback), XCONV_MN_COMM_THREADS sizes the comm-thread pool, and
+// XCONV_MN_WIRE_GBS enables the simulated-wire delay model.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -35,11 +39,13 @@ int main(int argc, char** argv) {
   solver.lr = 0.01f;
 
   std::printf("synchronous SGD on %d simulated nodes (ResNet-mini, distinct "
-              "data shards, %s-mode allreduce on %zu gradient elements",
+              "data shards, %s-mode allreduce on %zu gradient elements, "
+              "%s wire payload",
               ranks, mlsl::sync_mode_name(mn.mode),
-              trainer.rank_graph(0).grad_elems());
+              trainer.rank_graph(0).grad_elems(), mlsl::codec_name(mn.codec));
   if (mn.mode == mlsl::SyncMode::kOverlap)
-    std::printf(", %zu buckets", trainer.buckets().size());
+    std::printf(", %zu buckets, %d comm thread%s", trainer.buckets().size(),
+                mn.comm_threads, mn.comm_threads == 1 ? "" : "s");
   std::printf(")\n");
 
   // Report in chunks of up to 5 iterations; the final chunk carries the
@@ -49,9 +55,10 @@ int main(int argc, char** argv) {
     const int step = std::min(5, iters - done);
     const auto st = trainer.train(step, solver);
     std::printf("  iters %3d-%3d: loss %.4f, %.1f aggregate img/s, "
-                "allreduce %zu B/rank, exposed comm %.2f ms\n",
+                "allreduce %zu wire B/rank (%.2gx), exposed comm %.2f ms\n",
                 done, done + step - 1, st.last_loss, st.images_per_second,
-                st.allreduce_bytes_per_rank, 1e3 * st.exposed_comm_seconds);
+                st.wire_bytes_per_rank, st.compression_ratio,
+                1e3 * st.exposed_comm_seconds);
     done += step;
   }
 

@@ -244,6 +244,14 @@ void Graph::export_node_grads(const Node* n, float* flat) const {
   n->export_grads(flat + grad_offsets_.at(n));
 }
 
+void Graph::import_node_grads(Node* n, const float* flat) {
+  n->import_grads(flat + grad_offsets_.at(n));
+}
+
+void Graph::apply_node_update(Node* n, const Solver& solver) {
+  n->apply_update(solver);
+}
+
 std::vector<Node*> Graph::param_nodes() const {
   std::vector<Node*> out;
   for (const auto& up : nodes_)

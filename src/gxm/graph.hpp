@@ -96,6 +96,14 @@ class Graph {
   }
   /// Export a single node's gradients at its flat-vector offset.
   void export_node_grads(const Node* n, float* flat) const;
+  /// Import a single node's slice of the (already-reduced) flat gradient
+  /// vector — the per-bucket early-apply path of the overlapped trainer.
+  void import_node_grads(Node* n, const float* flat);
+  /// Optimizer step for a single parameter-owning node. Safe to run as soon
+  /// as the node's own backward()/compute_grads() finished: an update only
+  /// touches that node's weights, which nothing later in the same backward
+  /// sweep reads.
+  void apply_node_update(Node* n, const Solver& solver);
 
  private:
   void extend_nl(std::vector<NodeSpec>& nl);           // NL -> ENL

@@ -1,16 +1,47 @@
 #include "mlsl/allreduce.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "mlsl/netmodel.hpp"
+#include "platform/timer.hpp"
+
 namespace xconv::mlsl {
 
-Communicator::Communicator(int ranks) : ranks_(ranks) {
+namespace {
+
+// Gather a bucket's (possibly non-contiguous) flat-vector slices into a
+// contiguous payload, and scatter one back. Codecs see contiguous payloads
+// so per-bucket scales cover every segment of the bucket.
+void gather_bucket(const GradBucket& bk, const float* flat, float* dst) {
+  for (const GradBucket::Segment& seg : bk.segments) {
+    std::memcpy(dst, flat + seg.offset, seg.elems * sizeof(float));
+    dst += seg.elems;
+  }
+}
+
+void scatter_bucket(const GradBucket& bk, const float* src, float* flat) {
+  for (const GradBucket::Segment& seg : bk.segments) {
+    std::memcpy(flat + seg.offset, src, seg.elems * sizeof(float));
+    src += seg.elems;
+  }
+}
+
+}  // namespace
+
+Communicator::Communicator(int ranks, const CommConfig& cfg)
+    : ranks_(ranks), cfg_(cfg), codec_(&get_codec(cfg.codec)) {
   if (ranks < 1) throw std::invalid_argument("Communicator: ranks < 1");
+  if (cfg.comm_threads < 1)
+    throw std::invalid_argument("CommConfig: comm_threads must be >= 1");
+  if (cfg.wire_gbs < 0.0)
+    throw std::invalid_argument("CommConfig: wire_gbs must be >= 0");
   barrier_ = std::make_unique<std::barrier<>>(ranks_);
-  scratch_.resize(ranks_);
   overlap_bufs_.assign(ranks_, nullptr);
+  residual_.resize(ranks_);
 }
 
 Communicator::~Communicator() {
@@ -19,7 +50,8 @@ Communicator::~Communicator() {
     stop_comm_ = true;
   }
   cv_post_.notify_all();
-  if (comm_thread_.joinable()) comm_thread_.join();
+  for (std::thread& t : comm_pool_)
+    if (t.joinable()) t.join();
 }
 
 void Communicator::parallel(const std::function<void(int)>& fn) {
@@ -51,6 +83,38 @@ void Communicator::barrier() {
   if (ranks_ > 1) barrier_->arrive_and_wait();
 }
 
+void Communicator::ensure_residuals(std::size_t n) {
+  if (cfg_.codec == Codec::kFp32) return;
+  for (std::vector<float>& r : residual_)
+    if (r.size() < n) r.resize(n, 0.0f);
+  if (sum_residual_.size() < n) sum_residual_.resize(n, 0.0f);
+}
+
+double Communicator::residual_l2(int r) const {
+  double s = 0.0;
+  for (const float v : residual_[r]) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+double Communicator::wire_seconds(std::size_t wire_bytes) const {
+  if (cfg_.wire_gbs <= 0.0 || ranks_ <= 1) return 0.0;
+  NetworkModel net;
+  net.link_bandwidth_gbs = cfg_.wire_gbs;
+  // wire_gbs is documented as a pure link-bandwidth knob, and the
+  // measured-vs-projected reconciliation calibrates against it with
+  // NetworkModel::from_measured (which also folds latency into bandwidth) —
+  // so drop the model's default per-message latency floor here.
+  net.latency_us = 0.0;
+  return net.allreduce_seconds(wire_bytes, ranks_);
+}
+
+void Communicator::wait_out_wire(double delay, double elapsed) const {
+  if (delay <= elapsed) return;
+  // Sleep, don't spin: on an oversubscribed host a spinning comm thread
+  // would steal the compute cycles the overlap is supposed to hide behind.
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay - elapsed));
+}
+
 void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
                                  std::size_t n) {
   if (ranks_ == 1) return;
@@ -58,20 +122,55 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
   // Chunk layout: R near-equal chunks, chunk c owned by rank c.
   auto chunk_begin = [&](int c) { return n * c / R; };
   auto chunk_end = [&](int c) { return n * (c + 1) / R; };
+  const bool compressed = cfg_.codec != Codec::kFp32;
+  platform::Timer tx;
 
-  // Reduce-scatter: each rank sums all ranks' contributions to its own chunk
-  // in canonical rank order 0..R-1 — the same per-element order the
-  // overlapped bucket path uses, so bulk and overlapped training stay
-  // bit-for-bit comparable. Each rank writes only its own chunk and reads
-  // other chunks only after the closing barrier, so no per-step barriers are
-  // needed; traffic equivalence with a ring reduce-scatter is retained in
-  // the published byte count ((R-1)/R * n per rank).
   barrier();
-  const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
-  for (std::size_t i = b; i < e; ++i) {
-    float acc = bufs[0][i];
-    for (int r = 1; r < R; ++r) acc += bufs[r][i];
-    bufs[rank][i] = acc;
+  if (compressed) {
+    // Compressed bulk allreduce, chunk-granular codec payloads. Each rank
+    // writes only its own wire buffer / owner chunk between barriers, and
+    // the error-feedback residuals partition cleanly: contribution-leg
+    // residuals are per rank, sum-leg residuals per owner chunk.
+    if (rank == 0) {
+      ensure_residuals(n);
+      bulk_wire_.resize(R);
+      for (std::vector<float>& w : bulk_wire_)
+        if (w.size() < n) w.resize(n);
+    }
+    barrier();
+    // Reduce-scatter leg: this rank's contribution goes on the wire in R
+    // chunk payloads (one per owner), each scaled independently.
+    std::memcpy(bulk_wire_[rank].data(), bufs[rank], n * sizeof(float));
+    for (int c = 0; c < R; ++c) {
+      const std::size_t cb = chunk_begin(c), ce = chunk_end(c);
+      codec_->transmit(bulk_wire_[rank].data() + cb,
+                       residual_[rank].data() + cb, ce - cb);
+    }
+    barrier();
+    // Owner sums its chunk from the decoded payloads in canonical rank
+    // order, then re-encodes the sum for the allgather leg (with its own
+    // error feedback, so the re-encode error is also re-injected next time).
+    const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
+    for (std::size_t i = b; i < e; ++i) {
+      float acc = bulk_wire_[0][i];
+      for (int r = 1; r < R; ++r) acc += bulk_wire_[r][i];
+      bufs[rank][i] = acc;
+    }
+    codec_->transmit(bufs[rank] + b, sum_residual_.data() + b, e - b);
+  } else {
+    // Reduce-scatter: each rank sums all ranks' contributions to its own
+    // chunk in canonical rank order 0..R-1 — the same per-element order the
+    // overlapped bucket path uses, so bulk and overlapped training stay
+    // bit-for-bit comparable. Each rank writes only its own chunk and reads
+    // other chunks only after the closing barrier, so no per-step barriers
+    // are needed; traffic equivalence with a ring reduce-scatter is
+    // retained in the published byte count ((R-1)/R * n per rank).
+    const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
+    for (std::size_t i = b; i < e; ++i) {
+      float acc = bufs[0][i];
+      for (int r = 1; r < R; ++r) acc += bufs[r][i];
+      bufs[rank][i] = acc;
+    }
   }
   barrier();
   // Allgather: every rank copies the reduced owner-chunks from their owners.
@@ -80,10 +179,21 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
     const std::size_t cb = chunk_begin(c), ce = chunk_end(c);
     std::memcpy(bufs[rank] + cb, bufs[c] + cb, (ce - cb) * sizeof(float));
   }
-  // Publish the traffic count *before* the final barrier (it used to be
+  // Publish the traffic counts *before* the final barrier (they used to be
   // written after, racing with ranks already inside a subsequent call) and
-  // through an atomic so concurrent readers are always well-defined.
-  if (rank == 0) last_bytes_.store(ring_bytes(n), std::memory_order_relaxed);
+  // through atomics so concurrent readers are always well-defined.
+  const std::size_t payload = codec_payload_bytes(cfg_.codec);
+  const std::size_t wire =
+      ring_bytes(n, payload) +
+      2 * (static_cast<std::size_t>(R) - 1) * static_cast<std::size_t>(R) *
+          codec_->hop_overhead_bytes();
+  if (rank == 0) {
+    last_bytes_.store(ring_bytes(n, sizeof(float)), std::memory_order_relaxed);
+    wire_bytes_.store(wire, std::memory_order_relaxed);
+  }
+  // Simulated wire: every rank waits out the ring transmission time of the
+  // wire payload, so compression shows up in wall time, not just counters.
+  wait_out_wire(wire_seconds(n * payload), tx.seconds());
   barrier();
 }
 
@@ -98,13 +208,34 @@ void Communicator::set_buckets(std::vector<GradBucket> buckets) {
     done_.assign(buckets_.size(), 1);
     next_bucket_ = buckets_.size();
   }
-  if (ranks_ > 1 && !comm_thread_.joinable())
-    comm_thread_ = std::thread(&Communicator::comm_loop, this);
+  // Size the error-feedback state to the flat-vector extent and the
+  // per-thread codec scratch to the largest bucket. Safe without the lock:
+  // the contract forbids calling set_buckets with a round in flight, so the
+  // comm pool is idle.
+  std::size_t flat_elems = 0, max_bucket = 0;
+  for (const GradBucket& bk : buckets_) {
+    max_bucket = std::max(max_bucket, bk.elems);
+    for (const GradBucket::Segment& seg : bk.segments)
+      flat_elems = std::max(flat_elems, seg.offset + seg.elems);
+  }
+  ensure_residuals(flat_elems);
+  comm_scratch_.resize(cfg_.comm_threads);
+  if (cfg_.codec != Codec::kFp32) {
+    const std::size_t need =
+        (static_cast<std::size_t>(ranks_) + 2) * max_bucket;
+    for (std::vector<float>& s : comm_scratch_)
+      if (s.size() < need) s.resize(need);
+  }
+  if (ranks_ > 1)
+    while (static_cast<int>(comm_pool_.size()) < cfg_.comm_threads) {
+      const int tid = static_cast<int>(comm_pool_.size());
+      comm_pool_.emplace_back(&Communicator::comm_loop, this, tid);
+    }
 }
 
 void Communicator::overlap_begin(int rank, float* buf) {
   // The previous round is fully drained (every rank passed wait_all), so the
-  // comm thread is idle and the reset below cannot race with a reduction.
+  // comm pool is idle and the reset below cannot race with a reduction.
   barrier();
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -114,6 +245,7 @@ void Communicator::overlap_begin(int rank, float* buf) {
       std::fill(done_.begin(), done_.end(), static_cast<char>(0));
       next_bucket_ = 0;
       overlap_bytes_.store(0, std::memory_order_relaxed);
+      wire_bytes_.store(0, std::memory_order_relaxed);
     }
   }
   barrier();
@@ -129,7 +261,9 @@ void Communicator::post_bucket(int rank, std::size_t b) {
   }
   (void)rank;
   ++posted_[b];
-  cv_post_.notify_one();
+  // notify_all: with a comm-thread pool, every idle thread must get a chance
+  // to claim (a notify_one could land on a thread already mid-reduction).
+  cv_post_.notify_all();
 }
 
 void Communicator::wait_bucket(int rank, std::size_t b) {
@@ -148,7 +282,7 @@ void Communicator::wait_all(int /*rank*/) {
   });
 }
 
-void Communicator::comm_loop() {
+void Communicator::comm_loop(int tid) {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     cv_post_.wait(lk, [&] {
@@ -156,34 +290,73 @@ void Communicator::comm_loop() {
                             posted_[next_bucket_] == ranks_);
     });
     if (stop_comm_) return;
-    // Buckets are reduced strictly in index order; ranks post in the same
+    // Buckets are claimed strictly in index order; ranks post in the same
     // order, so a fully-posted bucket b implies 0..b-1 were fully posted
-    // (and therefore already reduced) before it.
+    // (and therefore already claimed) before it. With comm_threads > 1,
+    // several claimed buckets are reduced concurrently — they are disjoint
+    // flat-vector slices, so reductions never alias.
     while (next_bucket_ < buckets_.size() &&
            posted_[next_bucket_] == ranks_) {
-      const std::size_t b = next_bucket_;
+      const std::size_t b = next_bucket_++;
       lk.unlock();
-      reduce_bucket(buckets_[b]);
+      reduce_bucket(buckets_[b], comm_scratch_[tid]);
       lk.lock();
       done_[b] = 1;
-      ++next_bucket_;
       cv_done_.notify_all();
     }
   }
 }
 
-void Communicator::reduce_bucket(const GradBucket& bk) {
+void Communicator::reduce_bucket(const GradBucket& bk,
+                                 std::vector<float>& scratch) {
   const int R = ranks_;
-  for (const GradBucket::Segment& seg : bk.segments) {
-    const std::size_t lo = seg.offset, hi = seg.offset + seg.elems;
-    for (std::size_t i = lo; i < hi; ++i) {
-      // Canonical rank-order sum: every rank receives the same bits.
-      float acc = overlap_bufs_[0][i];
-      for (int r = 1; r < R; ++r) acc += overlap_bufs_[r][i];
-      for (int r = 0; r < R; ++r) overlap_bufs_[r][i] = acc;
+  platform::Timer tx;
+  const std::size_t payload = codec_payload_bytes(cfg_.codec);
+  if (cfg_.codec == Codec::kFp32) {
+    for (const GradBucket::Segment& seg : bk.segments) {
+      const std::size_t lo = seg.offset, hi = seg.offset + seg.elems;
+      for (std::size_t i = lo; i < hi; ++i) {
+        // Canonical rank-order sum: every rank receives the same bits.
+        float acc = overlap_bufs_[0][i];
+        for (int r = 1; r < R; ++r) acc += overlap_bufs_[r][i];
+        for (int r = 0; r < R; ++r) overlap_bufs_[r][i] = acc;
+      }
     }
+  } else {
+    // Compressed path: gather each rank's bucket slices into a contiguous
+    // payload (so the codec's scale covers the whole bucket), run the
+    // error-feedback wire round-trip, sum the decoded contributions in
+    // canonical rank order, re-encode the sum for the allgather leg (with
+    // its own shared residual), and scatter the result to every rank.
+    const std::size_t n = bk.elems;
+    float* xr = scratch.data();                   // R decoded contributions
+    float* res = scratch.data() + static_cast<std::size_t>(R) * n;
+    float* sum = res + n;
+    for (int r = 0; r < R; ++r) {
+      float* x = xr + static_cast<std::size_t>(r) * n;
+      gather_bucket(bk, overlap_bufs_[r], x);
+      gather_bucket(bk, residual_[r].data(), res);
+      codec_->transmit(x, res, n);
+      scatter_bucket(bk, res, residual_[r].data());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      float acc = xr[i];
+      for (int r = 1; r < R; ++r)
+        acc += xr[static_cast<std::size_t>(r) * n + i];
+      sum[i] = acc;
+    }
+    gather_bucket(bk, sum_residual_.data(), res);
+    codec_->transmit(sum, res, n);
+    scatter_bucket(bk, res, sum_residual_.data());
+    for (int r = 0; r < R; ++r) scatter_bucket(bk, sum, overlap_bufs_[r]);
   }
-  overlap_bytes_.fetch_add(ring_bytes(bk.elems), std::memory_order_relaxed);
+  overlap_bytes_.fetch_add(ring_bytes(bk.elems, sizeof(float)),
+                           std::memory_order_relaxed);
+  wire_bytes_.fetch_add(ring_bytes(bk.elems, payload) +
+                            2 * (static_cast<std::size_t>(R) - 1) *
+                                codec_->hop_overhead_bytes(),
+                        std::memory_order_relaxed);
+  wait_out_wire(wire_seconds(bk.elems * payload), tx.seconds());
 }
 
 }  // namespace xconv::mlsl

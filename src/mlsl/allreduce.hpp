@@ -9,14 +9,26 @@
 //   * allreduce_sum — bulk synchronous allreduce over the whole vector.
 //   * the bucketized async API (set_buckets / overlap_begin / post_bucket /
 //     wait_bucket / wait_all) — size-capped buckets posted in backward order
-//     and reduced by a background communication thread (the stand-in for the
-//     paper's dedicated MLSL comm cores) while ranks keep computing. This is
-//     the mechanism behind the paper's "the allreduce of the gradient
-//     weights in the backward pass is completely overlapped".
+//     and reduced by a pool of background communication threads (the
+//     stand-in for the paper's dedicated MLSL comm cores) while ranks keep
+//     computing. This is the mechanism behind the paper's "the allreduce of
+//     the gradient weights in the backward pass is completely overlapped".
 //
-// Both paths sum each element in canonical rank order 0..R-1, so (a) every
-// rank ends up with bit-identical reduced values and (b) bulk and overlapped
-// training trajectories match bit for bit regardless of bucket layout.
+// Both paths run their payload through a pluggable codec (mlsl/codec.hpp):
+// fp32 passthrough, or compressed int16 / bf16 wire payloads with per-rank
+// error-feedback residuals at both compression points (contribution and
+// reduced-sum legs). With the fp32 codec both paths sum each element in
+// canonical rank order 0..R-1, so (a) every rank ends up with bit-identical
+// reduced values and (b) bulk and overlapped training trajectories match
+// bit for bit regardless of bucket layout. Compressed payloads keep
+// property (a) — replicas never diverge — while trading bit-exactness
+// against fp32 for 2x less wire traffic.
+//
+// When `CommConfig::wire_gbs` is positive, every reduction additionally
+// waits out the ring transmission time of its *wire* bytes at that link
+// bandwidth (the analytic NetworkModel applied to the simulated wire), so
+// compression measurably shrinks exposed communication instead of only the
+// byte counters.
 #pragma once
 
 #include <atomic>
@@ -28,6 +40,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "mlsl/codec.hpp"
 
 namespace xconv::mlsl {
 
@@ -45,28 +59,45 @@ struct GradBucket {
   std::size_t bytes() const { return elems * sizeof(float); }
 };
 
+/// Communication-substrate configuration (fixed for the Communicator's
+/// lifetime, like an MLSL environment).
+struct CommConfig {
+  /// Wire payload codec for both the bulk and bucketized paths.
+  Codec codec = Codec::kFp32;
+  /// Background comm threads servicing the bucket queue — the stand-in for
+  /// >1 dedicated MLSL comm cores. Must be >= 1.
+  int comm_threads = 1;
+  /// Simulated link bandwidth in GB/s: > 0 makes every reduction wait out
+  /// its ring transmission time so wire-byte savings show up as wall time.
+  /// 0 disables the wire model (shared memory is the wire).
+  double wire_gbs = 0.0;
+};
+
 class Communicator {
  public:
-  explicit Communicator(int ranks);
+  explicit Communicator(int ranks, const CommConfig& cfg = {});
   ~Communicator();
 
   int ranks() const { return ranks_; }
+  const CommConfig& config() const { return cfg_; }
 
   /// Run `fn(rank)` on all ranks concurrently (fork-join).
   void parallel(const std::function<void(int)>& fn);
 
   /// Ring allreduce (sum) over per-rank buffers of `n` floats. `bufs[r]` is
-  /// rank r's gradient buffer; on return every buffer holds the sum. Must be
-  /// called from within `parallel` by every rank with the same arguments.
+  /// rank r's gradient buffer; on return every buffer holds the sum (the
+  /// codec's wire-faithful reconstruction of it for compressed codecs).
+  /// Must be called from within `parallel` by every rank with the same
+  /// arguments.
   void allreduce_sum(int rank, std::vector<float*>& bufs, std::size_t n);
 
   /// Rank barrier (callable from within `parallel`).
   void barrier();
 
-  /// Bytes moved per rank by the last allreduce (2*(R-1)/R * n * 4).
-  /// Atomic: rank 0 publishes it before the closing barrier of the
-  /// allreduce, and callers may read it while other ranks are already in a
-  /// subsequent collective.
+  /// Logical fp32 ring bytes moved per rank by the last allreduce
+  /// (2*(R-1)/R * n * 4). Atomic: rank 0 publishes it before the closing
+  /// barrier of the allreduce, and callers may read it while other ranks
+  /// are already in a subsequent collective.
   std::size_t last_bytes_per_rank() const {
     return last_bytes_.load(std::memory_order_relaxed);
   }
@@ -74,7 +105,7 @@ class Communicator {
   // --- overlapped bucketized allreduce ------------------------------------
 
   /// Install the bucket layout (identical on every rank) and start the
-  /// background communication thread. Not a collective: call once, outside
+  /// background comm-thread pool. Not a collective: call once, outside
   /// `parallel`, before the first overlapped round.
   void set_buckets(std::vector<GradBucket> buckets);
 
@@ -83,10 +114,11 @@ class Communicator {
   /// round must have been drained with `wait_all`.
   void overlap_begin(int rank, float* buf);
 
-  /// Mark this rank's contribution to bucket `b` as ready. The comm thread
-  /// reduces bucket `b` (in bucket-index order) once all ranks posted it.
-  /// After posting, the rank must not touch the bucket's slices of its
-  /// buffer until `wait_bucket(b)` / `wait_all` returns.
+  /// Mark this rank's contribution to bucket `b` as ready. A comm thread
+  /// claims bucket `b` (buckets are claimed in index order, but a pool may
+  /// reduce several concurrently) once all ranks posted it. After posting,
+  /// the rank must not touch the bucket's slices of its buffer until
+  /// `wait_bucket(b)` / `wait_all` returns.
   void post_bucket(int rank, std::size_t b);
 
   /// Block until bucket `b` holds the reduced sum in this rank's buffer.
@@ -97,28 +129,55 @@ class Communicator {
 
   std::size_t bucket_count() const { return buckets_.size(); }
 
-  /// Ring-model bytes moved per rank by the current/last overlapped round
-  /// (sum over reduced buckets so far).
+  /// Logical fp32 ring bytes moved per rank by the current/last overlapped
+  /// round (sum over reduced buckets so far).
   std::size_t overlap_bytes_per_rank() const {
     return overlap_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Actual (codec-compressed) wire bytes per rank: accumulated over the
+  /// current/last overlapped round, or set by the last bulk allreduce.
+  /// Equals the logical byte count under the fp32 codec.
+  std::size_t wire_bytes_per_rank() const {
+    return wire_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // --- error-feedback state (valid while no reduction is in flight) -------
+
+  /// Rank `r`'s contribution-leg residual (empty for the fp32 codec).
+  const std::vector<float>& residual(int r) const { return residual_[r]; }
+  /// Shared reduced-sum-leg residual (empty for the fp32 codec).
+  const std::vector<float>& sum_residual() const { return sum_residual_; }
+  /// L2 norm of rank `r`'s contribution residual (0 for fp32).
+  double residual_l2(int r) const;
+
  private:
-  void comm_loop();
-  void reduce_bucket(const GradBucket& bk);
-  std::size_t ring_bytes(std::size_t n) const {
-    return 2 * (static_cast<std::size_t>(ranks_) - 1) * n * sizeof(float) /
+  void comm_loop(int tid);
+  void reduce_bucket(const GradBucket& bk, std::vector<float>& scratch);
+  void ensure_residuals(std::size_t n);
+  double wire_seconds(std::size_t wire_bytes) const;
+  void wait_out_wire(double delay, double elapsed) const;
+  std::size_t ring_bytes(std::size_t n, std::size_t elem_bytes) const {
+    return 2 * (static_cast<std::size_t>(ranks_) - 1) * n * elem_bytes /
            static_cast<std::size_t>(ranks_);
   }
 
   int ranks_;
+  CommConfig cfg_;
+  const PayloadCodec* codec_;  ///< singleton for cfg_.codec
   std::unique_ptr<std::barrier<>> barrier_;
-  std::vector<std::vector<float>> scratch_;
   std::atomic<std::size_t> last_bytes_{0};
 
+  // Error-feedback state (sized lazily to the flat vector; empty for fp32).
+  std::vector<std::vector<float>> residual_;
+  std::vector<float> sum_residual_;
+  // Decoded per-rank wire payloads for the compressed bulk path.
+  std::vector<std::vector<float>> bulk_wire_;
+
   // Overlap state. `posted_`/`done_`/`next_bucket_` are guarded by `mu_`;
-  // bucket payload data is handed off through the mutex (post -> reduce ->
-  // wait), so rank threads and the comm thread never race on buffer slices.
+  // bucket payload data is handed off through the mutex (post -> claim ->
+  // reduce -> wait), so rank threads and comm threads never race on buffer
+  // slices, and two comm threads never claim the same bucket.
   std::vector<GradBucket> buckets_;
   std::vector<float*> overlap_bufs_;
   std::vector<int> posted_;
@@ -127,8 +186,10 @@ class Communicator {
   bool stop_comm_ = false;
   std::mutex mu_;
   std::condition_variable cv_post_, cv_done_;
-  std::thread comm_thread_;
+  std::vector<std::thread> comm_pool_;
+  std::vector<std::vector<float>> comm_scratch_;  ///< per comm thread
   std::atomic<std::size_t> overlap_bytes_{0};
+  std::atomic<std::size_t> wire_bytes_{0};
 };
 
 }  // namespace xconv::mlsl

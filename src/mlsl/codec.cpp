@@ -1,0 +1,92 @@
+#include "mlsl/codec.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "quant/bfloat16.hpp"
+#include "quant/quantize.hpp"
+
+namespace xconv::mlsl {
+
+const char* codec_name(Codec c) {
+  switch (c) {
+    case Codec::kInt16:
+      return "int16";
+    case Codec::kBf16:
+      return "bf16";
+    default:
+      return "fp32";
+  }
+}
+
+Codec codec_from_name(const std::string& s) {
+  if (s == "fp32") return Codec::kFp32;
+  if (s == "int16") return Codec::kInt16;
+  if (s == "bf16") return Codec::kBf16;
+  throw std::invalid_argument("unknown gradient codec '" + s +
+                              "' (expected fp32, int16 or bf16)");
+}
+
+std::size_t codec_payload_bytes(Codec c) {
+  return c == Codec::kFp32 ? sizeof(float) : sizeof(std::int16_t);
+}
+
+namespace {
+
+class Fp32Codec final : public PayloadCodec {
+ public:
+  Codec kind() const override { return Codec::kFp32; }
+  void transmit(float* /*x*/, float* /*residual*/,
+                std::size_t /*n*/) const override {
+    // Exact passthrough: the wire carries the bits unchanged and the
+    // residual stays identically zero.
+  }
+};
+
+class Int16Codec final : public PayloadCodec {
+ public:
+  Codec kind() const override { return Codec::kInt16; }
+  void transmit(float* x, float* residual, std::size_t n) const override {
+    // Fold the carried-over error in first so the scale covers it too (an
+    // element whose residual pushed it past the old amax must not clamp).
+    for (std::size_t i = 0; i < n; ++i) x[i] += residual[i];
+    const float s = quant::compute_scale(x, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float d = static_cast<float>(quant::quantize_one(x[i], s)) * s;
+      residual[i] = x[i] - d;
+      x[i] = d;
+    }
+  }
+  std::size_t hop_overhead_bytes() const override { return sizeof(float); }
+};
+
+class Bf16Codec final : public PayloadCodec {
+ public:
+  Codec kind() const override { return Codec::kBf16; }
+  void transmit(float* x, float* residual, std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float t = x[i] + residual[i];
+      const float d = quant::bf16_round(t);
+      residual[i] = t - d;
+      x[i] = d;
+    }
+  }
+};
+
+}  // namespace
+
+const PayloadCodec& get_codec(Codec c) {
+  static const Fp32Codec fp32;
+  static const Int16Codec int16;
+  static const Bf16Codec bf16;
+  switch (c) {
+    case Codec::kInt16:
+      return int16;
+    case Codec::kBf16:
+      return bf16;
+    default:
+      return fp32;
+  }
+}
+
+}  // namespace xconv::mlsl

@@ -1,0 +1,60 @@
+// Pluggable gradient-payload codecs for the simulated MLSL allreduce
+// (ROADMAP: low-precision gradient allreduce — the paper Section II-K
+// quantization machinery extended from compute to communication).
+//
+// A codec defines what a bucket's bytes look like on the (simulated) wire:
+//   * fp32  — passthrough. Bit-identical to the uncompressed path; the
+//             reference the other codecs are measured against.
+//   * int16 — symmetric per-bucket scaling through the quant:: scale/clamp
+//             machinery (q = clamp(round(x/s)), s = amax / kQMax):
+//             2 B/element plus one fp32 scale per bucket hop.
+//   * bf16  — round-to-nearest-even truncation to bfloat16: 2 B/element,
+//             fp32 exponent range retained, no scale management.
+//
+// Compression is lossy, so both compression points of the allreduce carry
+// error feedback: each rank keeps a per-element residual for its own
+// contribution, and the reduced sum keeps one shared residual for the
+// re-encode on the allgather leg. The quantization error of iteration t is
+// re-injected at iteration t+1, so the *average* transmitted gradient
+// converges to the true gradient, residuals stay bounded by one
+// quantization step, and compressed trajectories track fp32 within a
+// bounded loss gap (asserted in tests). The master weights stay fp32 on
+// every rank throughout — only wire payloads are narrowed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace xconv::mlsl {
+
+enum class Codec { kFp32, kInt16, kBf16 };
+
+const char* codec_name(Codec c);
+/// Parse "fp32" | "int16" | "bf16"; throws std::invalid_argument otherwise.
+Codec codec_from_name(const std::string& s);
+/// Wire bytes per gradient element (4, 2, 2).
+std::size_t codec_payload_bytes(Codec c);
+
+/// One hop's payload transform. Stateless and thread-safe: all persistent
+/// state (residuals) is owned by the caller, so disjoint buckets can be
+/// transmitted concurrently by a comm-thread pool.
+class PayloadCodec {
+ public:
+  virtual ~PayloadCodec() = default;
+  virtual Codec kind() const = 0;
+
+  /// Simulated wire round-trip of one contribution with error feedback:
+  /// conceptually encodes x[i] + residual[i], ships it, and decodes. On
+  /// return x holds the decoded (wire-faithful) values and residual the new
+  /// encoding error. fp32 is the exact identity and leaves residual at 0.
+  virtual void transmit(float* x, float* residual, std::size_t n) const = 0;
+
+  /// Extra wire bytes per hop beyond the element payload (e.g. the int16
+  /// per-bucket fp32 scale).
+  virtual std::size_t hop_overhead_bytes() const { return 0; }
+};
+
+/// Stateless singleton for a codec kind.
+const PayloadCodec& get_codec(Codec c);
+
+}  // namespace xconv::mlsl

@@ -17,6 +17,20 @@ double NetworkModel::allreduce_seconds(std::size_t bytes, int nodes) const {
   return bw_time + lat_time;
 }
 
+NetworkModel NetworkModel::from_measured(std::size_t bytes, int nodes,
+                                         double seconds) {
+  NetworkModel net;
+  net.latency_us = 0.0;
+  if (nodes <= 1 || seconds <= 0.0 || bytes == 0) {
+    net.link_bandwidth_gbs = 1e12;  // effectively infinite: nothing measured
+    return net;
+  }
+  const double r = static_cast<double>(nodes);
+  const double volume = 2.0 * (r - 1.0) / r * static_cast<double>(bytes);
+  net.link_bandwidth_gbs = volume / seconds / 1e9;
+  return net;
+}
+
 ScalingPoint project_scaling(const ScalingConfig& cfg, int nodes) {
   ScalingPoint pt;
   pt.nodes = nodes;

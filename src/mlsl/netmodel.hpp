@@ -17,6 +17,15 @@ struct NetworkModel {
 
   /// Ring allreduce wall time for `bytes` of gradients across `nodes`.
   double allreduce_seconds(std::size_t bytes, int nodes) const;
+
+  /// Calibrate a model against a *measured* allreduce: `seconds` of wall
+  /// time moving `bytes` of payload ring-wise across `nodes`. Per-message
+  /// latency is folded into the effective bandwidth (the measured substrate
+  /// has no separable per-message cost), so
+  /// `from_measured(b, k, t).allreduce_seconds(b, k) == t` — the anchor for
+  /// the projected-vs-measured exposed-comm reconciliation in bench_overlap.
+  static NetworkModel from_measured(std::size_t bytes, int nodes,
+                                    double seconds);
 };
 
 /// Scaling projection for one data-parallel training iteration:

@@ -13,6 +13,21 @@ const char* sync_mode_name(SyncMode m) {
   return m == SyncMode::kOverlap ? "overlap" : "bulk";
 }
 
+namespace {
+
+long parse_positive_long(const char* name, const char* v) {
+  char* end = nullptr;
+  errno = 0;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || x <= 0)
+    throw std::invalid_argument(std::string(name) +
+                                " must be a positive integer, got '" +
+                                std::string(v) + "'");
+  return x;
+}
+
+}  // namespace
+
 MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
   MultiNodeOptions o = defaults;
   if (const char* v = std::getenv("XCONV_MN_MODE")) {
@@ -24,15 +39,24 @@ MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
     else
       throw std::invalid_argument("XCONV_MN_MODE must be 'bulk' or 'overlap'");
   }
-  if (const char* v = std::getenv("XCONV_MN_BUCKET_KB")) {
+  if (const char* v = std::getenv("XCONV_MN_BUCKET_KB"))
+    o.bucket_cap_bytes =
+        static_cast<std::size_t>(parse_positive_long("XCONV_MN_BUCKET_KB", v)) *
+        1024;
+  if (const char* v = std::getenv("XCONV_MN_CODEC"))
+    o.codec = codec_from_name(v);  // throws with the valid-name list
+  if (const char* v = std::getenv("XCONV_MN_COMM_THREADS"))
+    o.comm_threads =
+        static_cast<int>(parse_positive_long("XCONV_MN_COMM_THREADS", v));
+  if (const char* v = std::getenv("XCONV_MN_WIRE_GBS")) {
     char* end = nullptr;
     errno = 0;
-    const long kb = std::strtol(v, &end, 10);
-    if (end == v || *end != '\0' || errno == ERANGE || kb <= 0)
+    const double g = std::strtod(v, &end);
+    if (end == v || *end != '\0' || errno == ERANGE || g < 0.0)
       throw std::invalid_argument(
-          "XCONV_MN_BUCKET_KB must be a positive integer, got '" +
+          "XCONV_MN_WIRE_GBS must be a non-negative number, got '" +
           std::string(v) + "'");
-    o.bucket_cap_bytes = static_cast<std::size_t>(kb) * 1024;
+    o.wire_gbs = g;
   }
   return o;
 }
@@ -40,7 +64,9 @@ MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
 MultiNodeTrainer::MultiNodeTrainer(const std::vector<gxm::NodeSpec>& topology,
                                    int nodes, const gxm::GraphOptions& opt,
                                    const MultiNodeOptions& mn)
-    : nodes_(nodes), mn_(mn), comm_(nodes) {
+    : nodes_(nodes),
+      mn_(mn),
+      comm_(nodes, CommConfig{mn.codec, mn.comm_threads, mn.wire_gbs}) {
   graphs_.reserve(nodes_);
   for (int r = 0; r < nodes_; ++r) {
     gxm::GraphOptions o = opt;
@@ -86,11 +112,15 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
   st.nodes = nodes_;
   st.iterations = iters;
   st.mode = sync_mode_name(mn_.mode);
+  st.codec = codec_name(mn_.codec);
+  st.comm_threads = mn_.comm_threads;
   const std::size_t ge = graphs_[0]->grad_elems();
   const int batch = graphs_[0]->input()->tops[0]->shape.n;
   const bool overlap = mn_.mode == SyncMode::kOverlap;
+  if (overlap) st.bucket_wait_seconds.assign(buckets_.size(), 0.0);
   std::vector<float*> bufs(nodes_);
   for (int r = 0; r < nodes_; ++r) bufs[r] = grad_bufs_[r].data();
+  const float inv = 1.0f / static_cast<float>(nodes_);
 
   platform::Timer t;
   for (int it = 0; it < iters; ++it) {
@@ -100,8 +130,7 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
       double exposed_s = 0;
       if (overlap) {
         // Post buckets while deeper layers are still in backward/UPD; the
-        // background comm thread reduces them concurrently. Only the
-        // residual tail before apply_update is exposed.
+        // comm-thread pool reduces them concurrently.
         comm_.overlap_begin(rank, bufs[rank]);
         std::size_t param_idx = 0, bucket = 0;
         g.backward_compute_grads([&](gxm::Node* n) {
@@ -113,22 +142,39 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
             ++bucket;
           }
         });
-        platform::Timer tw;
-        comm_.wait_all(rank);
-        exposed_s = tw.seconds();
+        // Early per-bucket epilogue: import and apply each bucket as it
+        // completes instead of blocking once on the whole round — the
+        // optimizer step of bucket b overlaps the reduction of b+1, and
+        // only per-bucket wait tails are exposed.
+        const auto& segs = g.bwd_param_segments();
+        std::size_t seg_idx = 0;
+        for (std::size_t b = 0; b < buckets_.size(); ++b) {
+          platform::Timer tw;
+          comm_.wait_bucket(rank, b);
+          const double w = tw.seconds();
+          exposed_s += w;
+          if (rank == 0) st.bucket_wait_seconds[b] += w;
+          for (const GradBucket::Segment& bs : buckets_[b].segments) {
+            float* p = bufs[rank] + bs.offset;
+            for (std::size_t i = 0; i < bs.elems; ++i) p[i] *= inv;
+            g.import_node_grads(segs[seg_idx].node, bufs[rank]);
+            g.apply_node_update(segs[seg_idx].node, solver);
+            ++seg_idx;
+          }
+        }
       } else {
         // Bulk baseline: backward + UPD complete before one synchronous
-        // allreduce of the entire gradient vector.
+        // allreduce of the entire gradient vector, then a global update
+        // sweep.
         g.backward_compute_grads();
         g.export_grads(bufs[rank]);
         platform::Timer ta;
         comm_.allreduce_sum(rank, bufs, ge);
         exposed_s = ta.seconds();
+        for (std::size_t i = 0; i < ge; ++i) bufs[rank][i] *= inv;
+        g.import_grads(bufs[rank]);
+        g.apply_updates(solver);
       }
-      const float inv = 1.0f / static_cast<float>(nodes_);
-      for (std::size_t i = 0; i < ge; ++i) bufs[rank][i] *= inv;
-      g.import_grads(bufs[rank]);
-      g.apply_updates(solver);
       if (rank == 0) st.exposed_comm_seconds += exposed_s;
     });
     st.last_loss = graphs_[0]->loss();
@@ -140,6 +186,13 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
           : 0;
   st.allreduce_bytes_per_rank = overlap ? comm_.overlap_bytes_per_rank()
                                         : comm_.last_bytes_per_rank();
+  st.wire_bytes_per_rank = comm_.wire_bytes_per_rank();
+  st.compression_ratio =
+      st.wire_bytes_per_rank > 0
+          ? static_cast<double>(st.allreduce_bytes_per_rank) /
+                static_cast<double>(st.wire_bytes_per_rank)
+          : 1.0;
+  st.residual_l2 = comm_.residual_l2(0);
   st.bucket_count = overlap ? buckets_.size() : 0;
   st.bucket_bytes = ge * sizeof(float);
   return st;

@@ -2,15 +2,24 @@
 // with its own Graph replica, training synchronously with gradient averaging
 // through the ring allreduce — the execution structure behind Figure 9.
 //
-// Two synchronization modes (bit-for-bit equivalent trajectories):
+// Two synchronization modes:
 //   * bulk    — backward + UPD complete, then one blocking allreduce over the
 //               whole gradient vector (the baseline pattern).
 //   * overlap — gradients are packed into size-capped buckets in backward
-//               completion order and posted to the background comm thread as
-//               soon as their last layer's dW is ready; ranks only block on
-//               the residual tail before apply_update. This is the paper's
-//               "allreduce ... completely overlapped" with the backward pass
-//               (Figure 9, ~90% parallel efficiency at 16 nodes).
+//               completion order and posted to the background comm-thread
+//               pool as soon as their last layer's dW is ready; the epilogue
+//               then imports and applies each bucket as it completes, so
+//               ranks only ever block on the next unfinished bucket — and
+//               the optimizer step of bucket b overlaps the reduction of
+//               bucket b+1. This is the paper's "allreduce ... completely
+//               overlapped" with the backward pass (Figure 9, ~90% parallel
+//               efficiency at 16 nodes).
+//
+// The wire payload runs through a pluggable codec (fp32 | int16 | bf16, see
+// mlsl/codec.hpp): weights stay fp32 masters on every rank; compressed
+// codecs halve wire bytes and carry error-feedback residuals so compressed
+// trajectories stay within a bounded loss gap of fp32. Under the fp32 codec
+// bulk and overlap trajectories are bit-for-bit identical.
 #pragma once
 
 #include <memory>
@@ -29,10 +38,22 @@ struct MultiNodeOptions {
   /// Overlap-mode bucket payload cap. Buckets hold at least one layer; a
   /// layer larger than the cap gets a bucket of its own.
   std::size_t bucket_cap_bytes = std::size_t{4} << 20;
+  /// Gradient wire-payload codec (both modes).
+  Codec codec = Codec::kFp32;
+  /// Background comm threads for the overlapped path (>= 1): the stand-in
+  /// for multiple dedicated MLSL comm cores.
+  int comm_threads = 1;
+  /// Simulated link bandwidth in GB/s (0 = off): reductions wait out the
+  /// ring transmission time of their wire bytes, so codec savings show up
+  /// in exposed-comm wall time.
+  double wire_gbs = 0.0;
 
   /// Environment overrides on top of `defaults`:
-  ///   XCONV_MN_MODE      = bulk | overlap
-  ///   XCONV_MN_BUCKET_KB = bucket cap in KiB (positive integer)
+  ///   XCONV_MN_MODE         = bulk | overlap
+  ///   XCONV_MN_BUCKET_KB    = bucket cap in KiB (positive integer)
+  ///   XCONV_MN_CODEC        = fp32 | int16 | bf16
+  ///   XCONV_MN_COMM_THREADS = comm-thread pool size (positive integer)
+  ///   XCONV_MN_WIRE_GBS     = simulated link bandwidth, GB/s (>= 0; 0 off)
   static MultiNodeOptions from_env(const MultiNodeOptions& defaults);
   static MultiNodeOptions from_env() { return from_env(MultiNodeOptions{}); }
 };
@@ -45,15 +66,27 @@ struct MultiNodeStats {
   double seconds = 0;
   double images_per_second = 0;  ///< aggregate across nodes
   float last_loss = 0;           ///< rank-0 loss
+  /// Logical fp32 ring bytes per rank per iteration (codec-independent).
   std::size_t allreduce_bytes_per_rank = 0;
+  /// Actual wire bytes per rank per iteration under the configured codec.
+  std::size_t wire_bytes_per_rank = 0;
+  /// allreduce_bytes_per_rank / wire_bytes_per_rank (1.0 for fp32).
+  double compression_ratio = 1.0;
   const char* mode = "bulk";
+  const char* codec = "fp32";
+  int comm_threads = 1;
   /// Rank-0 wall time blocked on gradient communication, summed over the
-  /// run's iterations: the full allreduce in bulk mode, only the post-
-  /// backward wait tail in overlap mode.
+  /// run's iterations: the full allreduce in bulk mode, only the per-bucket
+  /// wait tails in overlap mode.
   double exposed_comm_seconds = 0;
+  /// Rank-0 blocked wait per bucket, summed over the run (overlap mode;
+  /// empty in bulk mode). Sums to exposed_comm_seconds.
+  std::vector<double> bucket_wait_seconds;
+  /// Rank-0 error-feedback residual L2 norm after the run (0 for fp32).
+  double residual_l2 = 0;
   std::size_t bucket_count = 0;  ///< buckets per iteration (0 in bulk mode)
   std::size_t bucket_bytes = 0;  ///< gradient payload per iteration, both
-                                 ///< modes (whole flat vector, bytes)
+                                 ///< modes (whole flat vector, fp32 bytes)
 };
 
 class MultiNodeTrainer {
@@ -66,13 +99,14 @@ class MultiNodeTrainer {
 
   /// Synchronous data-parallel SGD: every iteration each rank runs
   /// fwd + bwd, gradients are allreduce-averaged (bulk or overlapped per
-  /// MultiNodeOptions::mode), then every rank applies the same update —
-  /// replicas stay bit-wise in sync. Throws std::invalid_argument for
-  /// non-positive `iters`.
+  /// MultiNodeOptions::mode, through the configured codec), then every rank
+  /// applies the same update — replicas stay bit-wise in sync. Throws
+  /// std::invalid_argument for non-positive `iters`.
   MultiNodeStats train(int iters, const gxm::Solver& solver);
 
   gxm::Graph& rank_graph(int r) { return *graphs_[r]; }
   const MultiNodeOptions& options() const { return mn_; }
+  const Communicator& comm() const { return comm_; }
   /// Overlap-mode bucket layout (backward order, cap-respecting).
   const std::vector<GradBucket>& buckets() const { return buckets_; }
 

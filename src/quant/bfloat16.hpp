@@ -1,0 +1,37 @@
+// bfloat16 truncate-round helpers: the paper Section II-K low-precision
+// machinery extended from compute to the communication payload. bfloat16
+// keeps fp32's 8-bit exponent with a 7-bit stored mantissa, so gradients
+// survive a round-to-nearest-even truncation of the low 16 bits with
+// <= 2^-8 (~0.4%) relative error and no scale management — the natural
+// companion codec to the scaled int16 path for gradient compression.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace xconv::quant {
+
+/// Round an fp32 value to bfloat16 precision (round-to-nearest-even on the
+/// upper 16 bits) and return it widened back to fp32 — the value a bf16
+/// wire payload reconstructs to. NaNs are quieted (mantissa MSB forced) so
+/// truncation can never turn a NaN into an infinity.
+inline float bf16_round(float x) {
+  std::uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  if ((u & 0x7f800000u) == 0x7f800000u) {  // Inf / NaN: never round the exp
+    if ((u & 0x007fffffu) != 0) u |= 0x00400000u;
+  } else {
+    u += 0x7fffu + ((u >> 16) & 1u);  // round-to-nearest, ties to even
+  }
+  u &= 0xffff0000u;
+  float out;
+  std::memcpy(&out, &u, sizeof(out));
+  return out;
+}
+
+/// In-place array form (wire round-trip of a whole payload).
+inline void bf16_round(float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = bf16_round(x[i]);
+}
+
+}  // namespace xconv::quant

@@ -2,12 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 namespace xconv::quant {
 
 float compute_scale(const float* x, std::size_t n) {
   float amax = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) amax = std::max(amax, std::abs(x[i]));
+  // The amax scan sits on the per-bucket gradient-compress hot path, so
+  // large tensors use an OpenMP max-reduction. fp32 max is associative and
+  // commutative (no rounding), so the result is bit-identical to the serial
+  // scan for any thread count. Small inputs stay serial: team startup costs
+  // more than the scan. Note the comm-thread callers spawn their own OMP
+  // team for the microseconds of the scan — a deliberate trade: the paper's
+  // comm cores are dedicated anyway, and the scan is a vanishing fraction
+  // of a bucket's compress+reduce work.
+  constexpr std::size_t kParallelMin = std::size_t{1} << 16;
+  if (n >= kParallelMin) {
+    const std::int64_t ni = static_cast<std::int64_t>(n);
+#pragma omp parallel for reduction(max : amax) schedule(static)
+    for (std::int64_t i = 0; i < ni; ++i)
+      amax = std::max(amax, std::abs(x[i]));
+  } else {
+    for (std::size_t i = 0; i < n; ++i) amax = std::max(amax, std::abs(x[i]));
+  }
   return amax > 0.0f ? amax / static_cast<float>(kQMax) : 1.0f;
 }
 

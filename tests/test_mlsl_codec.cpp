@@ -1,0 +1,497 @@
+// Compressed gradient allreduce (ROADMAP: low-precision allreduce — paper
+// Section II-K quantization extended from compute to communication): the
+// pluggable payload codecs, error-feedback residuals at both compression
+// points, the comm-thread pool, and the trainer-level guarantees — fp32
+// stays bit-identical to the bulk path, compressed replicas never diverge
+// from each other, residuals drain/stay bounded, and compressed training
+// tracks fp32 within a bounded loss gap on the ResNet-mini topology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "mlsl/allreduce.hpp"
+#include "mlsl/codec.hpp"
+#include "mlsl/scaling.hpp"
+#include "quant/quantize.hpp"
+#include "test_helpers.hpp"
+#include "topo/resnet50.hpp"
+
+using namespace xconv;
+using xconv::testing::random_vec;
+
+namespace {
+
+std::vector<float> canonical_sum(const std::vector<std::vector<float>>& data) {
+  std::vector<float> want(data[0].size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    float acc = data[0][i];
+    for (std::size_t r = 1; r < data.size(); ++r) acc += data[r][i];
+    want[i] = acc;
+  }
+  return want;
+}
+
+std::vector<mlsl::GradBucket> make_buckets(
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges) {
+  std::vector<mlsl::GradBucket> out;
+  for (const auto& [off, elems] : ranges) {
+    mlsl::GradBucket b;
+    b.segments.push_back({off, elems});
+    b.elems = elems;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+// One overlapped round over fresh copies of `data`; returns rank buffers
+// after the reduction.
+std::vector<std::vector<float>> overlap_round(
+    mlsl::Communicator& comm, const std::vector<std::vector<float>>& data) {
+  std::vector<std::vector<float>> bufs = data;
+  comm.parallel([&](int rank) {
+    comm.overlap_begin(rank, bufs[rank].data());
+    for (std::size_t b = 0; b < comm.bucket_count(); ++b)
+      comm.post_bucket(rank, b);
+    comm.wait_all(rank);
+  });
+  return bufs;
+}
+
+gxm::GraphOptions mini_opt(unsigned seed = 5) {
+  gxm::GraphOptions opt;
+  opt.threads = 1;
+  opt.seed = seed;
+  return opt;
+}
+
+std::vector<float> all_params(gxm::Graph& g) {
+  std::vector<float> out(g.grad_elems());
+  g.export_params(out.data());
+  return out;
+}
+
+}  // namespace
+
+TEST(Codec, NamesPayloadBytesAndParsing) {
+  EXPECT_STREQ(mlsl::codec_name(mlsl::Codec::kFp32), "fp32");
+  EXPECT_STREQ(mlsl::codec_name(mlsl::Codec::kInt16), "int16");
+  EXPECT_STREQ(mlsl::codec_name(mlsl::Codec::kBf16), "bf16");
+  EXPECT_EQ(mlsl::codec_from_name("fp32"), mlsl::Codec::kFp32);
+  EXPECT_EQ(mlsl::codec_from_name("int16"), mlsl::Codec::kInt16);
+  EXPECT_EQ(mlsl::codec_from_name("bf16"), mlsl::Codec::kBf16);
+  EXPECT_THROW(mlsl::codec_from_name("int8"), std::invalid_argument);
+  EXPECT_THROW(mlsl::codec_from_name(""), std::invalid_argument);
+  EXPECT_EQ(mlsl::codec_payload_bytes(mlsl::Codec::kFp32), 4u);
+  EXPECT_EQ(mlsl::codec_payload_bytes(mlsl::Codec::kInt16), 2u);
+  EXPECT_EQ(mlsl::codec_payload_bytes(mlsl::Codec::kBf16), 2u);
+}
+
+TEST(Codec, Fp32TransmitIsIdentity) {
+  const auto& c = mlsl::get_codec(mlsl::Codec::kFp32);
+  std::vector<float> x = random_vec(257, 1);
+  const std::vector<float> orig = x;
+  std::vector<float> res(x.size(), 0.0f);
+  c.transmit(x.data(), res.data(), x.size());
+  EXPECT_EQ(0, std::memcmp(orig.data(), x.data(), x.size() * sizeof(float)));
+  for (float r : res) EXPECT_EQ(r, 0.0f);
+}
+
+TEST(Codec, Int16TransmitErrorBoundedAndFedBack) {
+  const auto& c = mlsl::get_codec(mlsl::Codec::kInt16);
+  std::vector<float> x = random_vec(4096, 2);
+  const std::vector<float> orig = x;
+  std::vector<float> res(x.size(), 0.0f);
+  c.transmit(x.data(), res.data(), x.size());
+  const float scale = quant::compute_scale(orig.data(), orig.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // decoded + residual reconstructs the input exactly, and the per-element
+    // error is at most half a quantization step.
+    EXPECT_FLOAT_EQ(x[i] + res[i], orig[i]);
+    EXPECT_LE(std::abs(res[i]), 0.5f * scale * 1.0001f);
+  }
+}
+
+TEST(Codec, Bf16TransmitErrorBoundedAndFedBack) {
+  const auto& c = mlsl::get_codec(mlsl::Codec::kBf16);
+  std::vector<float> x = random_vec(4096, 3);
+  const std::vector<float> orig = x;
+  std::vector<float> res(x.size(), 0.0f);
+  c.transmit(x.data(), res.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(x[i] + res[i], orig[i]);
+    // bf16 stores 7 mantissa bits: RNE relative error <= 2^-8 (+ slack).
+    EXPECT_LE(std::abs(res[i]), std::abs(orig[i]) * (1.0f / 256) + 1e-30f);
+  }
+}
+
+TEST(CompressedAllreduce, Fp32CodecWithThreadPoolMatchesBulkBitwise) {
+  // The fp32 codec through the bucketized pipeline — including a multi-
+  // thread comm pool — must reproduce the bulk allreduce bit for bit.
+  const int R = 3;
+  const std::size_t n = 1537;
+  std::vector<std::vector<float>> data(R);
+  for (int r = 0; r < R; ++r) data[r] = random_vec(n, 17 + r);
+
+  std::vector<std::vector<float>> bulk_bufs = data;
+  mlsl::Communicator bulk(R);
+  std::vector<float*> bufs(R);
+  for (int r = 0; r < R; ++r) bufs[r] = bulk_bufs[r].data();
+  bulk.parallel([&](int rank) { bulk.allreduce_sum(rank, bufs, n); });
+
+  mlsl::CommConfig cfg;
+  cfg.codec = mlsl::Codec::kFp32;
+  cfg.comm_threads = 3;
+  mlsl::Communicator over(R, cfg);
+  over.set_buckets(make_buckets({{0, 200}, {200, 800}, {1000, 537}}));
+  const auto got = overlap_round(over, data);
+  for (int r = 0; r < R; ++r)
+    ASSERT_EQ(0, std::memcmp(bulk_bufs[r].data(), got[r].data(),
+                             n * sizeof(float)))
+        << "rank " << r;
+  EXPECT_EQ(over.wire_bytes_per_rank(), over.overlap_bytes_per_rank());
+  EXPECT_TRUE(over.residual(0).empty());  // fp32 keeps no residual state
+}
+
+class CompressedAllreduceP : public ::testing::TestWithParam<mlsl::Codec> {};
+
+TEST_P(CompressedAllreduceP, ApproximatesSumAndKeepsReplicasIdentical) {
+  const mlsl::Codec codec = GetParam();
+  const int R = 3;
+  const std::size_t n = 3000;
+  std::vector<std::vector<float>> data(R);
+  for (int r = 0; r < R; ++r) data[r] = random_vec(n, 70 + r);
+  const auto want = canonical_sum(data);
+
+  mlsl::CommConfig cfg;
+  cfg.codec = codec;
+  mlsl::Communicator comm(R, cfg);
+  comm.set_buckets(make_buckets({{0, 1000}, {1000, 1500}, {2500, 500}}));
+  const auto got = overlap_round(comm, data);
+
+  // All replicas receive identical bits (the codec is deterministic and the
+  // sum is canonical) ...
+  for (int r = 1; r < R; ++r)
+    ASSERT_EQ(0,
+              std::memcmp(got[0].data(), got[r].data(), n * sizeof(float)))
+        << "rank " << r;
+  // ... and the decoded sum tracks the exact sum within a few quantization
+  // steps (R contribution errors + one sum re-encode error; |x| <= 1 and
+  // bucket amax <= R, so one int16 step <= R/1024 and one bf16 step is
+  // relative 2^-8).
+  double max_err = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_err = std::max(max_err,
+                       static_cast<double>(std::abs(got[0][i] - want[i])));
+  const double step = codec == mlsl::Codec::kInt16
+                          ? static_cast<double>(R) / quant::kQMax
+                          : static_cast<double>(R) / 256.0;
+  EXPECT_LE(max_err, (R + 1) * step) << mlsl::codec_name(codec);
+  // Wire accounting: 2 B/element ring bytes, ~2x compression.
+  EXPECT_LT(comm.wire_bytes_per_rank(), comm.overlap_bytes_per_rank());
+  EXPECT_GE(static_cast<double>(comm.overlap_bytes_per_rank()) /
+                static_cast<double>(comm.wire_bytes_per_rank()),
+            1.9);
+}
+
+TEST_P(CompressedAllreduceP, ThreadPoolCountDoesNotChangeResults) {
+  // Per-bucket codec math is self-contained, so 1 vs 3 comm threads must
+  // produce identical bits (buckets just complete more concurrently).
+  const mlsl::Codec codec = GetParam();
+  const int R = 2;
+  const std::size_t n = 2048;
+  std::vector<std::vector<float>> data(R);
+  for (int r = 0; r < R; ++r) data[r] = random_vec(n, 90 + r);
+  const auto buckets =
+      make_buckets({{0, 300}, {300, 300}, {600, 700}, {1300, 748}});
+
+  std::vector<std::vector<float>> results[2];
+  int k = 0;
+  for (const int threads : {1, 3}) {
+    mlsl::CommConfig cfg;
+    cfg.codec = codec;
+    cfg.comm_threads = threads;
+    mlsl::Communicator comm(R, cfg);
+    comm.set_buckets(buckets);
+    results[k++] = overlap_round(comm, data);
+  }
+  for (int r = 0; r < R; ++r)
+    ASSERT_EQ(0, std::memcmp(results[0][r].data(), results[1][r].data(),
+                             n * sizeof(float)))
+        << "rank " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CompressedAllreduceP,
+                         ::testing::Values(mlsl::Codec::kInt16,
+                                           mlsl::Codec::kBf16),
+                         [](const auto& info) {
+                           return std::string(mlsl::codec_name(info.param));
+                         });
+
+TEST(ErrorFeedback, ResidualDrainsToZeroOnRepresentableGradients) {
+  // Gradients that are exact multiples of the bucket scale (amax maps to
+  // kQMax) quantize exactly: the residual is identically zero on every
+  // iteration, for the contribution leg and the sum re-encode leg alike.
+  const int R = 2;
+  const std::size_t n = 2049;
+  std::vector<float> g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g[i] = 0.01f * (static_cast<float>(i % 2049) - 1024.0f) / 1024.0f;
+  mlsl::CommConfig cfg;
+  cfg.codec = mlsl::Codec::kInt16;
+  mlsl::Communicator comm(R, cfg);
+  comm.set_buckets(make_buckets({{0, n}}));
+  for (int it = 0; it < 4; ++it) {
+    std::vector<std::vector<float>> data(R, g);  // identical across ranks
+    overlap_round(comm, data);
+    for (int r = 0; r < R; ++r)
+      EXPECT_EQ(comm.residual_l2(r), 0.0) << "iter " << it << " rank " << r;
+    for (float v : comm.sum_residual()) ASSERT_EQ(v, 0.0f);
+  }
+}
+
+class ErrorFeedbackP : public ::testing::TestWithParam<mlsl::Codec> {};
+
+TEST_P(ErrorFeedbackP, ResidualStaysBoundedAndMeanErrorDrains) {
+  // The error-feedback guarantee on arbitrary gradients: residuals never
+  // accumulate past one quantization step, and the *time-averaged*
+  // transmitted gradient converges to the true gradient (the accumulated
+  // drift after T identical rounds is r_0 - r_T, bounded independent of T).
+  const mlsl::Codec codec = GetParam();
+  const int R = 2, T = 32;
+  const std::size_t n = 1500;
+  std::vector<std::vector<float>> g(R);
+  for (int r = 0; r < R; ++r) g[r] = random_vec(n, 7 + r, -0.37f, 0.29f);
+  const auto want = canonical_sum(g);  // true per-round sum
+
+  mlsl::CommConfig cfg;
+  cfg.codec = codec;
+  mlsl::Communicator comm(R, cfg);
+  comm.set_buckets(make_buckets({{0, 700}, {700, 800}}));
+
+  // Per-element bound on one quantization step of any leg: amax of any
+  // contribution or of the sum is <= R * 0.37, so an int16 step is
+  // <= R*0.37/1024; a bf16 step is <= amax * 2^-8.
+  const double step = codec == mlsl::Codec::kInt16 ? R * 0.37 / quant::kQMax
+                                                   : R * 0.37 / 256.0;
+  std::vector<double> acc(n, 0.0);
+  for (int it = 0; it < T; ++it) {
+    const auto got = overlap_round(comm, g);  // fresh copies of the same g
+    for (std::size_t i = 0; i < n; ++i) acc[i] += got[0][i];
+    for (int r = 0; r < R; ++r) {
+      double linf = 0;
+      for (const float v : comm.residual(r))
+        linf = std::max(linf, static_cast<double>(std::abs(v)));
+      EXPECT_LE(linf, step) << "iter " << it << " rank " << r;
+    }
+  }
+  // Mean transmitted error after T rounds: |acc/T - want| <= C/T where C is
+  // a few quantization steps — i.e. the error feedback drains the bias.
+  double mean_err = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    mean_err = std::max(
+        mean_err, std::abs(acc[i] / T - static_cast<double>(want[i])));
+  EXPECT_LE(mean_err, (R + 2) * step / T + 1e-7) << mlsl::codec_name(codec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, ErrorFeedbackP,
+                         ::testing::Values(mlsl::Codec::kInt16,
+                                           mlsl::Codec::kBf16),
+                         [](const auto& info) {
+                           return std::string(mlsl::codec_name(info.param));
+                         });
+
+TEST(CompressedBulk, ApproximatesSumAndMatchesAcrossRanks) {
+  const int R = 3;
+  const std::size_t n = 4001;
+  std::vector<std::vector<float>> data(R);
+  for (int r = 0; r < R; ++r) data[r] = random_vec(n, 31 + r);
+  const auto want = canonical_sum(data);
+
+  mlsl::CommConfig cfg;
+  cfg.codec = mlsl::Codec::kInt16;
+  mlsl::Communicator comm(R, cfg);
+  std::vector<std::vector<float>> bufs_v = data;
+  std::vector<float*> bufs(R);
+  for (int r = 0; r < R; ++r) bufs[r] = bufs_v[r].data();
+  comm.parallel([&](int rank) { comm.allreduce_sum(rank, bufs, n); });
+
+  for (int r = 1; r < R; ++r)
+    ASSERT_EQ(0, std::memcmp(bufs_v[0].data(), bufs_v[r].data(),
+                             n * sizeof(float)));
+  double max_err = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_err = std::max(
+        max_err, static_cast<double>(std::abs(bufs_v[0][i] - want[i])));
+  EXPECT_LE(max_err, (R + 1) * static_cast<double>(R) / quant::kQMax);
+  EXPECT_LT(comm.wire_bytes_per_rank(), comm.last_bytes_per_rank());
+}
+
+// --- trainer-level guarantees ----------------------------------------------
+
+TEST(MultiNodeCodec, CompressedReplicasStayBitwiseInSync) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::Solver s;
+  s.lr = 0.01f;
+  for (const mlsl::Codec codec : {mlsl::Codec::kInt16, mlsl::Codec::kBf16}) {
+    for (const mlsl::SyncMode mode :
+         {mlsl::SyncMode::kBulk, mlsl::SyncMode::kOverlap}) {
+      mlsl::MultiNodeOptions mn;
+      mn.mode = mode;
+      mn.codec = codec;
+      mn.comm_threads = 2;
+      mn.bucket_cap_bytes = 32 << 10;
+      mlsl::MultiNodeTrainer mt(nl, 3, mini_opt(), mn);
+      mt.train(3, s);
+      const auto w0 = all_params(mt.rank_graph(0));
+      for (int r = 1; r < 3; ++r) {
+        const auto wr = all_params(mt.rank_graph(r));
+        ASSERT_EQ(0, std::memcmp(w0.data(), wr.data(),
+                                 w0.size() * sizeof(float)))
+            << mlsl::codec_name(codec) << " " << mlsl::sync_mode_name(mode)
+            << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(MultiNodeCodec, CompressedLossGapVsFp32Bounded) {
+  // The convergence guarantee the error feedback buys: compressed training
+  // on the ResNet-mini topology tracks the fp32 trajectory within a small
+  // loss gap (and does not diverge).
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::Solver s;
+  s.lr = 0.01f;
+  const int R = 2, iters = 6;
+
+  mlsl::MultiNodeOptions fp;
+  fp.mode = mlsl::SyncMode::kOverlap;
+  fp.bucket_cap_bytes = 32 << 10;
+  mlsl::MultiNodeTrainer ref(nl, R, mini_opt(11), fp);
+  std::vector<float> ref_losses;
+  for (int i = 0; i < iters; ++i)
+    ref_losses.push_back(ref.train(1, s).last_loss);
+
+  for (const mlsl::Codec codec : {mlsl::Codec::kInt16, mlsl::Codec::kBf16}) {
+    mlsl::MultiNodeOptions mn = fp;
+    mn.codec = codec;
+    mlsl::MultiNodeTrainer mt(nl, R, mini_opt(11), mn);
+    float gap = 0;
+    for (int i = 0; i < iters; ++i) {
+      const auto st = mt.train(1, s);
+      gap = std::max(gap, std::abs(st.last_loss - ref_losses[i]));
+      ASSERT_TRUE(std::isfinite(st.last_loss));
+    }
+    // Quantization-noise scale: int16 keeps ~3 decimal digits, bf16 ~2.4;
+    // after a handful of SGD steps the loss trajectories must agree to well
+    // under 5% of the ~1.4 starting loss.
+    EXPECT_LE(gap, 0.05f) << mlsl::codec_name(codec);
+  }
+}
+
+TEST(MultiNodeCodec, StatsReportCodecWireBytesAndPerBucketWaits) {
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::Solver s;
+  s.lr = 0.01f;
+  mlsl::MultiNodeOptions mn;
+  mn.mode = mlsl::SyncMode::kOverlap;
+  mn.codec = mlsl::Codec::kInt16;
+  mn.comm_threads = 2;
+  mn.bucket_cap_bytes = 8 << 10;
+  mlsl::MultiNodeTrainer mt(nl, 2, mini_opt(), mn);
+  const auto st = mt.train(2, s);
+  EXPECT_STREQ(st.codec, "int16");
+  EXPECT_EQ(st.comm_threads, 2);
+  EXPECT_GT(st.wire_bytes_per_rank, 0u);
+  EXPECT_LT(st.wire_bytes_per_rank, st.allreduce_bytes_per_rank);
+  EXPECT_GT(st.compression_ratio, 1.9);
+  EXPECT_LE(st.compression_ratio, 2.0);
+  EXPECT_EQ(st.bucket_wait_seconds.size(), st.bucket_count);
+  double wait_sum = 0;
+  for (const double w : st.bucket_wait_seconds) wait_sum += w;
+  EXPECT_NEAR(wait_sum, st.exposed_comm_seconds, 1e-9);
+  EXPECT_GE(st.residual_l2, 0.0);
+
+  // fp32 reference: wire bytes equal logical bytes, no residual.
+  mlsl::MultiNodeOptions fp = mn;
+  fp.codec = mlsl::Codec::kFp32;
+  mlsl::MultiNodeTrainer ft(nl, 2, mini_opt(), fp);
+  const auto fs = ft.train(1, s);
+  EXPECT_STREQ(fs.codec, "fp32");
+  EXPECT_EQ(fs.wire_bytes_per_rank, fs.allreduce_bytes_per_rank);
+  EXPECT_EQ(fs.compression_ratio, 1.0);
+  EXPECT_EQ(fs.residual_l2, 0.0);
+}
+
+TEST(MultiNodeCodec, SimulatedWireSlowsBulkAndChargesOverlapTails) {
+  // With the wire model on, bulk exposed-comm must cover at least the
+  // modeled transmission time of the whole gradient vector.
+  const auto nl = gxm::parse_topology(topo::resnet_mini_topology(4, 32, 4));
+  gxm::Solver s;
+  s.lr = 0.01f;
+  mlsl::MultiNodeOptions mn;
+  mn.wire_gbs = 0.05;  // slow wire so the delay dominates timer noise
+  mlsl::MultiNodeTrainer mt(nl, 2, mini_opt(), mn);
+  const auto st = mt.train(1, s);
+  const double volume =
+      static_cast<double>(st.wire_bytes_per_rank);  // ring bytes, fp32
+  EXPECT_GE(st.exposed_comm_seconds, volume / (0.05 * 1e9) * 0.9);
+}
+
+TEST(MultiNodeCodec, CommConfigValidation) {
+  EXPECT_THROW(mlsl::Communicator(2, mlsl::CommConfig{mlsl::Codec::kFp32, 0,
+                                                      0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(mlsl::Communicator(2, mlsl::CommConfig{mlsl::Codec::kFp32, -2,
+                                                      0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(mlsl::Communicator(2, mlsl::CommConfig{mlsl::Codec::kFp32, 1,
+                                                      -0.5}),
+               std::invalid_argument);
+}
+
+TEST(MultiNodeOptionsEnv, CodecAndCommThreadKnobs) {
+  mlsl::MultiNodeOptions defaults;
+  ::setenv("XCONV_MN_CODEC", "int16", 1);
+  ::setenv("XCONV_MN_COMM_THREADS", "3", 1);
+  ::setenv("XCONV_MN_WIRE_GBS", "2.5", 1);
+  auto o = mlsl::MultiNodeOptions::from_env(defaults);
+  EXPECT_EQ(o.codec, mlsl::Codec::kInt16);
+  EXPECT_EQ(o.comm_threads, 3);
+  EXPECT_DOUBLE_EQ(o.wire_gbs, 2.5);
+  ::setenv("XCONV_MN_CODEC", "bf16", 1);
+  EXPECT_EQ(mlsl::MultiNodeOptions::from_env(defaults).codec,
+            mlsl::Codec::kBf16);
+  ::unsetenv("XCONV_MN_CODEC");
+  ::unsetenv("XCONV_MN_COMM_THREADS");
+  ::unsetenv("XCONV_MN_WIRE_GBS");
+}
+
+TEST(MultiNodeOptionsEnv, RejectsBadCodecAndThreadCounts) {
+  // Negative tests mirroring the existing from_env validation style: bad
+  // codec names and non-positive / garbage thread counts must throw, not
+  // silently fall back.
+  mlsl::MultiNodeOptions defaults;
+  for (const char* bad : {"fp16", "int8", "FP32", "", "int16 "}) {
+    ::setenv("XCONV_MN_CODEC", bad, 1);
+    EXPECT_THROW(mlsl::MultiNodeOptions::from_env(defaults),
+                 std::invalid_argument)
+        << "codec '" << bad << "'";
+  }
+  ::unsetenv("XCONV_MN_CODEC");
+  for (const char* bad : {"0", "-2", "two", "1.5", "2x", ""}) {
+    ::setenv("XCONV_MN_COMM_THREADS", bad, 1);
+    EXPECT_THROW(mlsl::MultiNodeOptions::from_env(defaults),
+                 std::invalid_argument)
+        << "threads '" << bad << "'";
+  }
+  ::unsetenv("XCONV_MN_COMM_THREADS");
+  for (const char* bad : {"-1", "fast", ""}) {
+    ::setenv("XCONV_MN_WIRE_GBS", bad, 1);
+    EXPECT_THROW(mlsl::MultiNodeOptions::from_env(defaults),
+                 std::invalid_argument)
+        << "wire '" << bad << "'";
+  }
+  ::unsetenv("XCONV_MN_WIRE_GBS");
+}

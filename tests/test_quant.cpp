@@ -3,6 +3,11 @@
 // quantization error.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "quant/bfloat16.hpp"
 #include "quant/qconv_layer.hpp"
 #include "quant/quantize.hpp"
 #include "test_helpers.hpp"
@@ -48,6 +53,61 @@ TEST(Quantize, RoundTripErrorBounded) {
     maxerr = std::max(maxerr, static_cast<double>(std::abs(back - x)));
   }
   EXPECT_LE(maxerr, 0.5001 * s);  // round-to-nearest half-ulp bound
+}
+
+TEST(Quantize, ParallelScaleScanMatchesSerial) {
+  // compute_scale switches to an OpenMP max-reduction above 64K elements;
+  // fp32 max is associative, so the parallel scan must agree bitwise with a
+  // serial amax over the same data, wherever the amax lands.
+  for (const unsigned seed : {1u, 2u, 3u}) {
+    auto v = random_vec((1u << 16) + 4097, seed, -3.0f, 3.0f);
+    v[seed * 20011 % v.size()] = seed % 2 ? 7.25f : -7.25f;  // known amax
+    float amax = 0.0f;
+    for (const float x : v) amax = std::max(amax, std::abs(x));
+    const float want = amax / static_cast<float>(quant::kQMax);
+    EXPECT_EQ(quant::compute_scale(v.data(), v.size()), want);
+  }
+}
+
+TEST(Bfloat16, RoundIsExactOnRepresentableValues) {
+  for (const float x : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 1.5f, 256.0f,
+                        1.0078125f /* 1 + 2^-7 */, -3.140625f}) {
+    EXPECT_EQ(quant::bf16_round(x), x) << x;
+  }
+}
+
+TEST(Bfloat16, RoundErrorWithinHalfUlpAndTiesToEven) {
+  const auto v = random_vec(8192, 9, -10.0f, 10.0f);
+  for (const float x : v) {
+    const float d = quant::bf16_round(x);
+    // 7 stored mantissa bits: RNE absolute error <= 2^-8 * 2^exp <= |x|/256.
+    EXPECT_LE(std::abs(d - x), std::abs(x) / 256.0f + 1e-30f) << x;
+  }
+  // Ties round to the even bf16 neighbour: 1 + 2^-8 is exactly between
+  // 1.0 (even mantissa) and 1 + 2^-7 (odd); 1 + 3*2^-8 between 1 + 2^-7
+  // (odd) and 1 + 2^-6 (even).
+  EXPECT_EQ(quant::bf16_round(1.00390625f), 1.0f);
+  EXPECT_EQ(quant::bf16_round(1.01171875f), 1.015625f);
+}
+
+TEST(Bfloat16, SpecialsSurviveRounding) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(quant::bf16_round(inf), inf);
+  EXPECT_EQ(quant::bf16_round(-inf), -inf);
+  EXPECT_TRUE(std::isnan(quant::bf16_round(
+      std::numeric_limits<float>::quiet_NaN())));
+  // A NaN whose payload lives only in the low 16 bits must stay a NaN
+  // (naive truncation would produce +inf).
+  std::uint32_t u = 0x7f800001u;
+  float nan_low;
+  std::memcpy(&nan_low, &u, sizeof(nan_low));
+  EXPECT_TRUE(std::isnan(quant::bf16_round(nan_low)));
+  // Array form applies the same rounding elementwise.
+  std::vector<float> a = {1.00390625f, -2.0f, 0.25f};
+  quant::bf16_round(a.data(), a.size());
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(a[1], -2.0f);
+  EXPECT_EQ(a[2], 0.25f);
 }
 
 TEST(Quantize, WeightPairInterleave) {

@@ -1,8 +1,10 @@
 // Multi-node gradient-sync benchmark: sweeps payload codec (fp32 | int16 |
-// bf16) x sync mode (bulk | overlap) x comm-thread count on the ResNet-mini
-// and ResNet-50 GxM topologies and writes a BENCH_overlap.json trajectory
-// file — per-run img/s, exposed-comm seconds, wire bytes and compression
-// ratio — alongside the existing streams trajectory.
+// bf16 | topk) x sync mode (bulk | overlap) x comm-thread count on the
+// ResNet-mini and ResNet-50 GxM topologies and writes a BENCH_overlap.json
+// trajectory file (schema v3) — per-run img/s, exposed-comm seconds,
+// *measured* per-codec wire bytes (actual encode() payload sizes, which is
+// what makes the variable-rate top-k row meaningful) and compression ratio
+// — alongside the existing streams trajectory.
 //
 // Each topology's bulk/fp32 run doubles as the calibration anchor for
 // mlsl::project_scaling's analytic overlap model: its measured allreduce
@@ -24,7 +26,8 @@
 //                 [--wire-gbs=G] [--out=PATH]
 // Environment: XCONV_MB (minibatch per rank, default 4), XCONV_MN_BUCKET_KB
 // (overlap bucket cap, default 256), XCONV_MN_WIRE_GBS (overrides
-// --wire-gbs), plus the library-wide knobs.
+// --wire-gbs), XCONV_MN_TOPK (top-k kept fraction for the topk rows,
+// default 0.1), plus the library-wide knobs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,7 +52,8 @@ struct OverlapResult {
   double exposed_comm_s = 0;  ///< per run (iters iterations), rank 0
   double projected_exposed_comm_s = 0;  ///< analytic model, same window
   std::size_t bucket_count = 0;
-  std::size_t bucket_bytes = 0;
+  std::size_t bucket_bytes = 0;    ///< largest overlap bucket; 0 in bulk
+  std::size_t gradient_bytes = 0;  ///< whole flat gradient, fp32 bytes
   std::size_t allreduce_bytes_per_rank = 0;
   std::size_t wire_bytes_per_rank = 0;
   double compression_ratio = 1.0;
@@ -59,12 +63,13 @@ struct OverlapResult {
 
 bool write_overlap_json(const std::string& path, int nodes, int iters, int mb,
                         std::size_t bucket_cap_bytes, double wire_gbs,
+                        double topk_fraction,
                         const std::vector<OverlapResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"overlap\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"isa\": \"%s\",\n",
                platform::isa_name(platform::effective_isa()));
   std::fprintf(f, "  \"nodes\": %d,\n", nodes);
@@ -72,6 +77,7 @@ bool write_overlap_json(const std::string& path, int nodes, int iters, int mb,
   std::fprintf(f, "  \"minibatch\": %d,\n", mb);
   std::fprintf(f, "  \"bucket_cap_bytes\": %zu,\n", bucket_cap_bytes);
   std::fprintf(f, "  \"wire_gbs\": %.6f,\n", wire_gbs);
+  std::fprintf(f, "  \"topk_fraction\": %.6f,\n", topk_fraction);
   std::fprintf(f, "  \"results\": [");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const OverlapResult& r = results[i];
@@ -80,15 +86,16 @@ bool write_overlap_json(const std::string& path, int nodes, int iters, int mb,
         "%s\n    {\"topology\": \"%s\", \"mode\": \"%s\", \"codec\": \"%s\", "
         "\"comm_threads\": %d, \"img_s\": %.3f, \"exposed_comm_s\": %.6f, "
         "\"projected_exposed_comm_s\": %.6f, \"bucket_count\": %zu, "
-        "\"bucket_bytes\": %zu, \"allreduce_bytes_per_rank\": %zu, "
+        "\"bucket_bytes\": %zu, \"gradient_bytes\": %zu, "
+        "\"allreduce_bytes_per_rank\": %zu, "
         "\"wire_bytes_per_rank\": %zu, \"compression_ratio\": %.4f, "
         "\"residual_l2\": %.6g, \"last_loss\": %.6f}",
         i == 0 ? "" : ",", bench::json_escape(r.topology).c_str(),
         bench::json_escape(r.mode).c_str(), bench::json_escape(r.codec).c_str(),
         r.comm_threads, r.img_s, r.exposed_comm_s, r.projected_exposed_comm_s,
-        r.bucket_count, r.bucket_bytes, r.allreduce_bytes_per_rank,
-        r.wire_bytes_per_rank, r.compression_ratio, r.residual_l2,
-        r.last_loss);
+        r.bucket_count, r.bucket_bytes, r.gradient_bytes,
+        r.allreduce_bytes_per_rank, r.wire_bytes_per_rank, r.compression_ratio,
+        r.residual_l2, r.last_loss);
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
@@ -146,9 +153,9 @@ int main(int argc, char** argv) {
     topos.push_back({"resnet50", topo::resnet50_topology(mb, 56, 100)});
 
   std::printf("bench_overlap: codec x mode x comm-threads sweep | nodes=%d "
-              "iters=%d mb=%d bucket_cap=%zu KiB wire=%.3f GB/s\n",
+              "iters=%d mb=%d bucket_cap=%zu KiB wire=%.3f GB/s topk=%.3f\n",
               nodes, iters, mb, mn_base.bucket_cap_bytes >> 10,
-              mn_base.wire_gbs);
+              mn_base.wire_gbs, mn_base.topk_fraction);
   std::printf("%-12s %-8s %-6s %3s %9s %11s %11s %12s %6s\n", "topology",
               "mode", "codec", "thr", "img/s", "exposed ms", "proj ms",
               "wire B/rank", "ratio");
@@ -159,11 +166,11 @@ int main(int argc, char** argv) {
     int threads;
   };
   std::vector<Run> runs;
-  for (const mlsl::Codec c :
-       {mlsl::Codec::kFp32, mlsl::Codec::kInt16, mlsl::Codec::kBf16})
+  for (const mlsl::Codec c : {mlsl::Codec::kFp32, mlsl::Codec::kInt16,
+                              mlsl::Codec::kBf16, mlsl::Codec::kTopK})
     runs.push_back({mlsl::SyncMode::kBulk, c, 1});
-  for (const mlsl::Codec c :
-       {mlsl::Codec::kFp32, mlsl::Codec::kInt16, mlsl::Codec::kBf16})
+  for (const mlsl::Codec c : {mlsl::Codec::kFp32, mlsl::Codec::kInt16,
+                              mlsl::Codec::kBf16, mlsl::Codec::kTopK})
     for (const int thr : {1, 2})
       runs.push_back({mlsl::SyncMode::kOverlap, c, thr});
 
@@ -195,18 +202,24 @@ int main(int argc, char** argv) {
         // bulk exposes the entire allreduce, so its per-iteration exposed
         // time *is* the ring time of the fp32 gradient payload.
         measured_net =
-            mlsl::NetworkModel::from_measured(st.bucket_bytes, nodes, t_ar);
+            mlsl::NetworkModel::from_measured(st.gradient_bytes, nodes, t_ar);
         t_compute = t_iter > t_ar ? t_iter - t_ar : t_iter;
       }
 
       // Analytic projection for this row (ROADMAP reconciliation): same
-      // compute time, ring time scaled to this codec's payload bytes,
-      // overlap hiding per the model's backward window.
+      // compute time, ring time scaled to this codec's *measured* wire
+      // bytes (the counters publish the ring share 2(R-1)/R of the encoded
+      // payload, so un-apply that factor to recover the payload the model
+      // expects — with a per-element byte table this would be wrong for the
+      // data-dependent top-k row), overlap hiding per the model's backward
+      // window.
       mlsl::ScalingConfig cfg;
       cfg.local_minibatch = mb;
       cfg.single_node_img_s = t_compute > 0 ? mb / t_compute : 0;
-      cfg.gradient_bytes = (st.bucket_bytes / sizeof(float)) *
-                           mlsl::codec_payload_bytes(run.codec);
+      cfg.gradient_bytes =
+          nodes > 1 ? st.wire_bytes_per_rank * static_cast<std::size_t>(nodes) /
+                          (2 * static_cast<std::size_t>(nodes) - 2)
+                    : st.gradient_bytes;
       cfg.comm_core_penalty = 1.0;
       cfg.sync_overhead_frac = 0.0;
       if (run.mode == mlsl::SyncMode::kBulk) cfg.backward_fraction = 0.0;
@@ -223,6 +236,7 @@ int main(int argc, char** argv) {
       r.projected_exposed_comm_s = pt.exposed_comm_ms * 1e-3 * iters;
       r.bucket_count = st.bucket_count;
       r.bucket_bytes = st.bucket_bytes;
+      r.gradient_bytes = st.gradient_bytes;
       r.allreduce_bytes_per_rank = st.allreduce_bytes_per_rank;
       r.wire_bytes_per_rank = st.wire_bytes_per_rank;
       r.compression_ratio = st.compression_ratio;
@@ -238,7 +252,7 @@ int main(int argc, char** argv) {
   }
 
   if (!write_overlap_json(out, nodes, iters, mb, mn_base.bucket_cap_bytes,
-                          mn_base.wire_gbs, results)) {
+                          mn_base.wire_gbs, mn_base.topk_fraction, results)) {
     std::fprintf(stderr, "bench_overlap: cannot write %s\n", out.c_str());
     return 1;
   }

@@ -8,9 +8,11 @@
 // Environment: XCONV_MN_MODE=bulk|overlap selects the gradient-sync path
 // (overlap posts size-capped buckets during backward — the paper's
 // overlapped allreduce — and applies each bucket's update as it completes),
-// XCONV_MN_BUCKET_KB caps the bucket payload, XCONV_MN_CODEC=fp32|int16|bf16
-// picks the wire codec (compressed codecs halve wire bytes, with error
-// feedback), XCONV_MN_COMM_THREADS sizes the comm-thread pool, and
+// XCONV_MN_BUCKET_KB caps the bucket payload,
+// XCONV_MN_CODEC=fp32|int16|bf16|topk picks the wire codec (fixed-rate
+// compressed codecs halve wire bytes; the sparsified top-k payload keeps
+// only the XCONV_MN_TOPK fraction of each bucket's coordinates — all with
+// error feedback), XCONV_MN_COMM_THREADS sizes the comm-thread pool, and
 // XCONV_MN_WIRE_GBS enables the simulated-wire delay model.
 #include <algorithm>
 #include <cstdio>

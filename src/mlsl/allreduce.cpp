@@ -6,7 +6,6 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "mlsl/netmodel.hpp"
 #include "platform/timer.hpp"
 
 namespace xconv::mlsl {
@@ -33,12 +32,13 @@ void scatter_bucket(const GradBucket& bk, const float* src, float* flat) {
 }  // namespace
 
 Communicator::Communicator(int ranks, const CommConfig& cfg)
-    : ranks_(ranks), cfg_(cfg), codec_(&get_codec(cfg.codec)) {
+    : ranks_(ranks), cfg_(cfg) {
   if (ranks < 1) throw std::invalid_argument("Communicator: ranks < 1");
   if (cfg.comm_threads < 1)
     throw std::invalid_argument("CommConfig: comm_threads must be >= 1");
   if (cfg.wire_gbs < 0.0)
     throw std::invalid_argument("CommConfig: wire_gbs must be >= 0");
+  codec_ = make_codec(cfg.codec, cfg.topk_fraction);  // validates fraction
   barrier_ = std::make_unique<std::barrier<>>(ranks_);
   overlap_bufs_.assign(ranks_, nullptr);
   residual_.resize(ranks_);
@@ -84,7 +84,7 @@ void Communicator::barrier() {
 }
 
 void Communicator::ensure_residuals(std::size_t n) {
-  if (cfg_.codec == Codec::kFp32) return;
+  if (!codec_->uses_residual()) return;
   for (std::vector<float>& r : residual_)
     if (r.size() < n) r.resize(n, 0.0f);
   if (sum_residual_.size() < n) sum_residual_.resize(n, 0.0f);
@@ -98,14 +98,14 @@ double Communicator::residual_l2(int r) const {
 
 double Communicator::wire_seconds(std::size_t wire_bytes) const {
   if (cfg_.wire_gbs <= 0.0 || ranks_ <= 1) return 0.0;
-  NetworkModel net;
-  net.link_bandwidth_gbs = cfg_.wire_gbs;
-  // wire_gbs is documented as a pure link-bandwidth knob, and the
-  // measured-vs-projected reconciliation calibrates against it with
-  // NetworkModel::from_measured (which also folds latency into bandwidth) —
-  // so drop the model's default per-message latency floor here.
-  net.latency_us = 0.0;
-  return net.allreduce_seconds(wire_bytes, ranks_);
+  // `wire_bytes` is the *published* per-rank counter value — ring factor
+  // and any per-payload overhead already folded in — so the delay is a pure
+  // bandwidth division. This keeps the slept-out time and the wire_bytes_
+  // counters in lockstep by construction (they used to disagree: the delay
+  // was re-derived from n * payload without the overhead term), matching a
+  // zero-latency NetworkModel, which is what NetworkModel::from_measured
+  // calibrates against for the projected-vs-measured reconciliation.
+  return static_cast<double>(wire_bytes) / (cfg_.wire_gbs * 1e9);
 }
 
 void Communicator::wait_out_wire(double delay, double elapsed) const {
@@ -117,46 +117,77 @@ void Communicator::wait_out_wire(double delay, double elapsed) const {
 
 void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
                                  std::size_t n) {
-  if (ranks_ == 1) return;
+  if (ranks_ == 1) {
+    // Single node: nothing moves. Publish zeros (not stale values from an
+    // earlier round/configuration) so MultiNodeStats byte counters and the
+    // compression ratio derived from them stay truthful.
+    last_bytes_.store(0, std::memory_order_relaxed);
+    wire_bytes_.store(0, std::memory_order_relaxed);
+    return;
+  }
   const int R = ranks_;
   // Chunk layout: R near-equal chunks, chunk c owned by rank c.
   auto chunk_begin = [&](int c) { return n * c / R; };
   auto chunk_end = [&](int c) { return n * (c + 1) / R; };
   const bool compressed = cfg_.codec != Codec::kFp32;
+  const bool ef = codec_->uses_residual();
   platform::Timer tx;
+  std::size_t wire = 0;
 
   barrier();
   if (compressed) {
     // Compressed bulk allreduce, chunk-granular codec payloads. Each rank
-    // writes only its own wire buffer / owner chunk between barriers, and
-    // the error-feedback residuals partition cleanly: contribution-leg
-    // residuals are per rank, sum-leg residuals per owner chunk.
+    // writes only its own wire buffer / owner chunk / byte-count slots
+    // between barriers, and the error-feedback residuals partition cleanly:
+    // contribution-leg residuals are per rank, sum-leg residuals per owner
+    // chunk.
     if (rank == 0) {
       ensure_residuals(n);
+      std::size_t max_chunk = 0;
+      for (int c = 0; c < R; ++c)
+        max_chunk = std::max(max_chunk, chunk_end(c) - chunk_begin(c));
+      bulk_slot_stride_ = codec_->max_encoded_bytes(max_chunk);
       bulk_wire_.resize(R);
-      for (std::vector<float>& w : bulk_wire_)
-        if (w.size() < n) w.resize(n);
+      const std::size_t need =
+          (static_cast<std::size_t>(R) + 1) * bulk_slot_stride_;
+      for (std::vector<std::uint8_t>& w : bulk_wire_)
+        if (w.size() < need) w.resize(need);
+      bulk_chunk_bytes_.assign(static_cast<std::size_t>(R) * R, 0);
+      bulk_sum_bytes_.assign(R, 0);
     }
     barrier();
     // Reduce-scatter leg: this rank's contribution goes on the wire in R
-    // chunk payloads (one per owner), each scaled independently.
-    std::memcpy(bulk_wire_[rank].data(), bufs[rank], n * sizeof(float));
+    // chunk payloads (one per owner), each encoded independently into a
+    // fixed-stride slot with its measured byte count published alongside.
+    const std::size_t stride = bulk_slot_stride_;
     for (int c = 0; c < R; ++c) {
       const std::size_t cb = chunk_begin(c), ce = chunk_end(c);
-      codec_->transmit(bulk_wire_[rank].data() + cb,
-                       residual_[rank].data() + cb, ce - cb);
+      bulk_chunk_bytes_[static_cast<std::size_t>(rank) * R + c] =
+          codec_->encode(bufs[rank] + cb,
+                         ef ? residual_[rank].data() + cb : nullptr, ce - cb,
+                         bulk_wire_[rank].data() + c * stride);
     }
     barrier();
-    // Owner sums its chunk from the decoded payloads in canonical rank
-    // order, then re-encodes the sum for the allgather leg (with its own
-    // error feedback, so the re-encode error is also re-injected next time).
+    // Owner accumulates its chunk from the encoded payloads in canonical
+    // rank order, then re-encodes the sum for the allgather leg (with its
+    // own error feedback, so the re-encode error is re-injected next time)
+    // and decodes it in place so every rank gathers wire-faithful values.
     const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
-    for (std::size_t i = b; i < e; ++i) {
-      float acc = bulk_wire_[0][i];
-      for (int r = 1; r < R; ++r) acc += bulk_wire_[r][i];
-      bufs[rank][i] = acc;
-    }
-    codec_->transmit(bufs[rank] + b, sum_residual_.data() + b, e - b);
+    const std::size_t own = static_cast<std::size_t>(rank);
+    codec_->decode(bulk_wire_[0].data() + own * stride,
+                   bulk_chunk_bytes_[own], bufs[rank] + b, e - b);
+    for (int r = 1; r < R; ++r)
+      codec_->decode_accumulate(
+          bulk_wire_[r].data() + own * stride,
+          bulk_chunk_bytes_[static_cast<std::size_t>(r) * R + own],
+          bufs[rank] + b, e - b);
+    std::uint8_t* sum_wire =
+        bulk_wire_[rank].data() + static_cast<std::size_t>(R) * stride;
+    bulk_sum_bytes_[rank] =
+        codec_->encode(bufs[rank] + b,
+                       ef ? sum_residual_.data() + b : nullptr, e - b,
+                       sum_wire);
+    codec_->decode(sum_wire, bulk_sum_bytes_[rank], bufs[rank] + b, e - b);
   } else {
     // Reduce-scatter: each rank sums all ranks' contributions to its own
     // chunk in canonical rank order 0..R-1 — the same per-element order the
@@ -179,21 +210,28 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
     const std::size_t cb = chunk_begin(c), ce = chunk_end(c);
     std::memcpy(bufs[rank] + cb, bufs[c] + cb, (ce - cb) * sizeof(float));
   }
+  // Per-rank wire bytes from the *measured* encoded payload sizes (every
+  // rank computes the same value from the shared byte-count tables, all
+  // published before the pre-allgather barrier). fp32 moves raw ring bytes.
+  if (compressed) {
+    std::size_t contrib = 0, sum_b = 0;
+    for (const std::size_t b : bulk_chunk_bytes_) contrib += b;
+    for (const std::size_t b : bulk_sum_bytes_) sum_b += b;
+    wire = ring_wire_bytes(contrib, sum_b);
+  } else {
+    wire = ring_bytes(n, sizeof(float));
+  }
   // Publish the traffic counts *before* the final barrier (they used to be
   // written after, racing with ranks already inside a subsequent call) and
   // through atomics so concurrent readers are always well-defined.
-  const std::size_t payload = codec_payload_bytes(cfg_.codec);
-  const std::size_t wire =
-      ring_bytes(n, payload) +
-      2 * (static_cast<std::size_t>(R) - 1) * static_cast<std::size_t>(R) *
-          codec_->hop_overhead_bytes();
   if (rank == 0) {
     last_bytes_.store(ring_bytes(n, sizeof(float)), std::memory_order_relaxed);
     wire_bytes_.store(wire, std::memory_order_relaxed);
   }
-  // Simulated wire: every rank waits out the ring transmission time of the
-  // wire payload, so compression shows up in wall time, not just counters.
-  wait_out_wire(wire_seconds(n * payload), tx.seconds());
+  // Simulated wire: every rank waits out the transmission time of exactly
+  // the byte count published above, so compression shows up in wall time,
+  // not just counters — and the two can never drift apart.
+  wait_out_wire(wire_seconds(wire), tx.seconds());
   barrier();
 }
 
@@ -220,11 +258,12 @@ void Communicator::set_buckets(std::vector<GradBucket> buckets) {
   }
   ensure_residuals(flat_elems);
   comm_scratch_.resize(cfg_.comm_threads);
-  if (cfg_.codec != Codec::kFp32) {
-    const std::size_t need =
-        (static_cast<std::size_t>(ranks_) + 2) * max_bucket;
-    for (std::vector<float>& s : comm_scratch_)
-      if (s.size() < need) s.resize(need);
+  if (cfg_.codec != Codec::kFp32) {  // the fp32 fast path sums in place
+    const std::size_t wire_need = codec_->max_encoded_bytes(max_bucket);
+    for (CommScratch& s : comm_scratch_) {
+      if (s.f.size() < 3 * max_bucket) s.f.resize(3 * max_bucket);
+      if (s.wire.size() < wire_need) s.wire.resize(wire_need);
+    }
   }
   if (ranks_ > 1)
     while (static_cast<int>(comm_pool_.size()) < cfg_.comm_threads) {
@@ -307,56 +346,65 @@ void Communicator::comm_loop(int tid) {
   }
 }
 
-void Communicator::reduce_bucket(const GradBucket& bk,
-                                 std::vector<float>& scratch) {
+void Communicator::reduce_bucket(const GradBucket& bk, CommScratch& scratch) {
   const int R = ranks_;
   platform::Timer tx;
-  const std::size_t payload = codec_payload_bytes(cfg_.codec);
+  const std::size_t n = bk.elems;
+  std::size_t contrib_bytes = 0, sum_bytes = 0;
   if (cfg_.codec == Codec::kFp32) {
+    // Exact-codec fast path (mirroring the bulk path's split): fp32's
+    // encode/decode are memcpys, so sum in place across the rank buffers —
+    // one fused pass, no scratch traffic on the comm threads whose
+    // bandwidth the overlap is supposed to leave to backward compute. The
+    // canonical rank order 0..R-1 matches the generic path bit for bit.
     for (const GradBucket::Segment& seg : bk.segments) {
       const std::size_t lo = seg.offset, hi = seg.offset + seg.elems;
       for (std::size_t i = lo; i < hi; ++i) {
-        // Canonical rank-order sum: every rank receives the same bits.
         float acc = overlap_bufs_[0][i];
         for (int r = 1; r < R; ++r) acc += overlap_bufs_[r][i];
         for (int r = 0; r < R; ++r) overlap_bufs_[r][i] = acc;
       }
     }
+    // What the wire would have carried: one exact payload per leg.
+    contrib_bytes = static_cast<std::size_t>(R) * codec_->max_encoded_bytes(n);
+    sum_bytes = codec_->max_encoded_bytes(n);
   } else {
-    // Compressed path: gather each rank's bucket slices into a contiguous
-    // payload (so the codec's scale covers the whole bucket), run the
-    // error-feedback wire round-trip, sum the decoded contributions in
-    // canonical rank order, re-encode the sum for the allgather leg (with
-    // its own shared residual), and scatter the result to every rank.
-    const std::size_t n = bk.elems;
-    float* xr = scratch.data();                   // R decoded contributions
-    float* res = scratch.data() + static_cast<std::size_t>(R) * n;
+    // Generic variable-rate path: gather each rank's bucket slices into a
+    // contiguous payload (so per-payload codec state — a scale, a top-k
+    // selection — covers the whole bucket), encode it onto the wire with
+    // error feedback, accumulate the decoded contributions into the running
+    // sum in canonical rank order 0..R-1 (rank 0 decodes by overwrite),
+    // re-encode the sum for the allgather leg with its own shared residual,
+    // and scatter the decoded result to every rank.
+    const bool ef = codec_->uses_residual();
+    float* x = scratch.f.data();
+    float* res = x + n;
     float* sum = res + n;
+    std::uint8_t* wire = scratch.wire.data();
     for (int r = 0; r < R; ++r) {
-      float* x = xr + static_cast<std::size_t>(r) * n;
       gather_bucket(bk, overlap_bufs_[r], x);
-      gather_bucket(bk, residual_[r].data(), res);
-      codec_->transmit(x, res, n);
-      scatter_bucket(bk, res, residual_[r].data());
+      if (ef) gather_bucket(bk, residual_[r].data(), res);
+      const std::size_t wb = codec_->encode(x, ef ? res : nullptr, n, wire);
+      if (ef) scatter_bucket(bk, res, residual_[r].data());
+      contrib_bytes += wb;
+      if (r == 0)
+        codec_->decode(wire, wb, sum, n);
+      else
+        codec_->decode_accumulate(wire, wb, sum, n);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      float acc = xr[i];
-      for (int r = 1; r < R; ++r)
-        acc += xr[static_cast<std::size_t>(r) * n + i];
-      sum[i] = acc;
-    }
-    gather_bucket(bk, sum_residual_.data(), res);
-    codec_->transmit(sum, res, n);
-    scatter_bucket(bk, res, sum_residual_.data());
+    if (ef) gather_bucket(bk, sum_residual_.data(), res);
+    sum_bytes = codec_->encode(sum, ef ? res : nullptr, n, wire);
+    if (ef) scatter_bucket(bk, res, sum_residual_.data());
+    codec_->decode(wire, sum_bytes, sum, n);
     for (int r = 0; r < R; ++r) scatter_bucket(bk, sum, overlap_bufs_[r]);
   }
+
+  const std::size_t wire_pub = ring_wire_bytes(contrib_bytes, sum_bytes);
   overlap_bytes_.fetch_add(ring_bytes(bk.elems, sizeof(float)),
                            std::memory_order_relaxed);
-  wire_bytes_.fetch_add(ring_bytes(bk.elems, payload) +
-                            2 * (static_cast<std::size_t>(R) - 1) *
-                                codec_->hop_overhead_bytes(),
-                        std::memory_order_relaxed);
-  wait_out_wire(wire_seconds(bk.elems * payload), tx.seconds());
+  wire_bytes_.fetch_add(wire_pub, std::memory_order_relaxed);
+  // The simulated wire waits out exactly the bytes published above.
+  wait_out_wire(wire_seconds(wire_pub), tx.seconds());
 }
 
 }  // namespace xconv::mlsl

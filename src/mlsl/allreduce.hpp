@@ -14,27 +14,34 @@
 //     computing. This is the mechanism behind the paper's "the allreduce of
 //     the gradient weights in the backward pass is completely overlapped".
 //
-// Both paths run their payload through a pluggable codec (mlsl/codec.hpp):
-// fp32 passthrough, or compressed int16 / bf16 wire payloads with per-rank
+// Both paths run their payload through a pluggable variable-rate codec
+// (mlsl/codec.hpp): fp32 passthrough, fixed-rate compressed int16 / bf16
+// payloads, or the sparsified top-k index+value payload, with per-rank
 // error-feedback residuals at both compression points (contribution and
-// reduced-sum legs). With the fp32 codec both paths sum each element in
-// canonical rank order 0..R-1, so (a) every rank ends up with bit-identical
-// reduced values and (b) bulk and overlapped training trajectories match
-// bit for bit regardless of bucket layout. Compressed payloads keep
-// property (a) — replicas never diverge — while trading bit-exactness
-// against fp32 for 2x less wire traffic.
+// reduced-sum legs). Every contribution is encoded into an explicit wire
+// buffer whose byte count the codec reports per payload, decoded
+// contributions are accumulated in canonical rank order 0..R-1, so (a)
+// every rank ends up with bit-identical reduced values and (b) with the
+// fp32 codec (whose encode/decode are exact memcpys) bulk and overlapped
+// training trajectories match bit for bit regardless of bucket layout.
+// Compressed payloads keep property (a) — replicas never diverge — while
+// trading bit-exactness against fp32 for less wire traffic (2x fixed for
+// int16/bf16, sparsity-dependent for top-k).
 //
-// When `CommConfig::wire_gbs` is positive, every reduction additionally
-// waits out the ring transmission time of its *wire* bytes at that link
-// bandwidth (the analytic NetworkModel applied to the simulated wire), so
-// compression measurably shrinks exposed communication instead of only the
-// byte counters.
+// The `wire_bytes_` counters publish *measured* encoded bytes: the ring
+// share (R-1)/R of the mean per-rank contribution payload plus (R-1)/R of
+// the encoded reduced sum, per reduction. When `CommConfig::wire_gbs` is
+// positive, every reduction additionally waits out the transmission time of
+// exactly that published byte count at the link bandwidth, so compression
+// measurably shrinks exposed communication and the delay can never drift
+// from the counters (they used to disagree by the per-hop overhead term).
 #pragma once
 
 #include <atomic>
 #include <barrier>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -71,6 +78,9 @@ struct CommConfig {
   /// its ring transmission time so wire-byte savings show up as wall time.
   /// 0 disables the wire model (shared memory is the wire).
   double wire_gbs = 0.0;
+  /// Kept coordinate fraction for Codec::kTopK, in (0, 1] (ignored by the
+  /// dense codecs; at least one coordinate per payload is always kept).
+  double topk_fraction = 0.1;
 };
 
 class Communicator {
@@ -135,9 +145,11 @@ class Communicator {
     return overlap_bytes_.load(std::memory_order_relaxed);
   }
 
-  /// Actual (codec-compressed) wire bytes per rank: accumulated over the
-  /// current/last overlapped round, or set by the last bulk allreduce.
-  /// Equals the logical byte count under the fp32 codec.
+  /// Measured (codec-encoded) wire bytes per rank: the ring share of the
+  /// actual encode() payload sizes, accumulated over the current/last
+  /// overlapped round or set by the last bulk allreduce. Equals the logical
+  /// byte count under the fp32 codec; data-dependent for top-k. This is the
+  /// exact byte count the simulated-wire delay consumes.
   std::size_t wire_bytes_per_rank() const {
     return wire_bytes_.load(std::memory_order_relaxed);
   }
@@ -152,8 +164,16 @@ class Communicator {
   double residual_l2(int r) const;
 
  private:
+  /// Per-comm-thread codec workspace: a float area for the gathered
+  /// contribution, gathered residual and running sum, plus a byte area for
+  /// one encoded wire payload of the largest bucket.
+  struct CommScratch {
+    std::vector<float> f;
+    std::vector<std::uint8_t> wire;
+  };
+
   void comm_loop(int tid);
-  void reduce_bucket(const GradBucket& bk, std::vector<float>& scratch);
+  void reduce_bucket(const GradBucket& bk, CommScratch& scratch);
   void ensure_residuals(std::size_t n);
   double wire_seconds(std::size_t wire_bytes) const;
   void wait_out_wire(double delay, double elapsed) const;
@@ -161,18 +181,32 @@ class Communicator {
     return 2 * (static_cast<std::size_t>(ranks_) - 1) * n * elem_bytes /
            static_cast<std::size_t>(ranks_);
   }
+  /// Published per-rank wire bytes of one reduction, from measured encode()
+  /// sizes: the ring ships (R-1)/R of the mean contribution payload and
+  /// (R-1)/R of the encoded reduced sum.
+  std::size_t ring_wire_bytes(std::size_t contrib_bytes_total,
+                              std::size_t sum_bytes) const {
+    const auto r = static_cast<std::size_t>(ranks_);
+    return (r - 1) * (contrib_bytes_total / r + sum_bytes) / r;
+  }
 
   int ranks_;
   CommConfig cfg_;
-  const PayloadCodec* codec_;  ///< singleton for cfg_.codec
+  std::unique_ptr<const PayloadCodec> codec_;  ///< per cfg_.codec (+fraction)
   std::unique_ptr<std::barrier<>> barrier_;
   std::atomic<std::size_t> last_bytes_{0};
 
-  // Error-feedback state (sized lazily to the flat vector; empty for fp32).
+  // Error-feedback state (sized lazily to the flat vector; empty for exact
+  // codecs, i.e. fp32).
   std::vector<std::vector<float>> residual_;
   std::vector<float> sum_residual_;
-  // Decoded per-rank wire payloads for the compressed bulk path.
-  std::vector<std::vector<float>> bulk_wire_;
+  // Compressed bulk-path shared state: per-rank encoded wire buffers (R
+  // fixed-stride chunk slots + 1 sum slot each) and the measured per-slot
+  // byte counts, all written in disjoint per-rank slices between barriers.
+  std::vector<std::vector<std::uint8_t>> bulk_wire_;
+  std::vector<std::size_t> bulk_chunk_bytes_;  ///< [rank * R + chunk]
+  std::vector<std::size_t> bulk_sum_bytes_;    ///< [owner chunk]
+  std::size_t bulk_slot_stride_ = 0;
 
   // Overlap state. `posted_`/`done_`/`next_bucket_` are guarded by `mu_`;
   // bucket payload data is handed off through the mutex (post -> claim ->
@@ -187,7 +221,7 @@ class Communicator {
   std::mutex mu_;
   std::condition_variable cv_post_, cv_done_;
   std::vector<std::thread> comm_pool_;
-  std::vector<std::vector<float>> comm_scratch_;  ///< per comm thread
+  std::vector<CommScratch> comm_scratch_;  ///< per comm thread
   std::atomic<std::size_t> overlap_bytes_{0};
   std::atomic<std::size_t> wire_bytes_{0};
 };

@@ -1,7 +1,12 @@
 #include "mlsl/codec.hpp"
 
-#include <cstdint>
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
+#include <vector>
 
 #include "quant/bfloat16.hpp"
 #include "quant/quantize.hpp"
@@ -14,6 +19,8 @@ const char* codec_name(Codec c) {
       return "int16";
     case Codec::kBf16:
       return "bf16";
+    case Codec::kTopK:
+      return "topk";
     default:
       return "fp32";
   }
@@ -23,57 +30,247 @@ Codec codec_from_name(const std::string& s) {
   if (s == "fp32") return Codec::kFp32;
   if (s == "int16") return Codec::kInt16;
   if (s == "bf16") return Codec::kBf16;
+  if (s == "topk") return Codec::kTopK;
   throw std::invalid_argument("unknown gradient codec '" + s +
-                              "' (expected fp32, int16 or bf16)");
+                              "' (expected fp32, int16, bf16 or topk)");
 }
 
-std::size_t codec_payload_bytes(Codec c) {
-  return c == Codec::kFp32 ? sizeof(float) : sizeof(std::int16_t);
+void PayloadCodec::transmit(float* x, float* residual, std::size_t n) const {
+  std::vector<std::uint8_t> wire(max_encoded_bytes(n));
+  const std::size_t wb = encode(x, residual, n, wire.data());
+  decode(wire.data(), wb, x, n);
 }
 
 namespace {
 
+// Unaligned typed access into wire buffers (payload layouts are packed, and
+// e.g. the int16 lane array starts 4 bytes in).
+template <typename T>
+T load(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void store(std::uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
 class Fp32Codec final : public PayloadCodec {
  public:
   Codec kind() const override { return Codec::kFp32; }
-  void transmit(float* /*x*/, float* /*residual*/,
-                std::size_t /*n*/) const override {
-    // Exact passthrough: the wire carries the bits unchanged and the
-    // residual stays identically zero.
+  bool uses_residual() const override { return false; }
+  std::size_t max_encoded_bytes(std::size_t n) const override {
+    return n * sizeof(float);
+  }
+  std::size_t encode(const float* src, float* /*residual*/, std::size_t n,
+                     std::uint8_t* wire) const override {
+    // Exact passthrough: the wire carries the bits unchanged, so the
+    // residual (when a caller keeps one) stays identically zero.
+    std::memcpy(wire, src, n * sizeof(float));
+    return n * sizeof(float);
+  }
+  void decode(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
+              float* dst, std::size_t n) const override {
+    std::memcpy(dst, wire, n * sizeof(float));
+  }
+  void decode_accumulate(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
+                         float* dst, std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i)
+      dst[i] += load<float>(wire + i * sizeof(float));
   }
 };
 
+// Wire layout: [f32 scale][n x i16 lanes].
 class Int16Codec final : public PayloadCodec {
  public:
   Codec kind() const override { return Codec::kInt16; }
-  void transmit(float* x, float* residual, std::size_t n) const override {
-    // Fold the carried-over error in first so the scale covers it too (an
-    // element whose residual pushed it past the old amax must not clamp).
-    for (std::size_t i = 0; i < n; ++i) x[i] += residual[i];
-    const float s = quant::compute_scale(x, n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const float d = static_cast<float>(quant::quantize_one(x[i], s)) * s;
-      residual[i] = x[i] - d;
-      x[i] = d;
-    }
+  std::size_t max_encoded_bytes(std::size_t n) const override {
+    return sizeof(float) + n * sizeof(std::int16_t);
   }
-  std::size_t hop_overhead_bytes() const override { return sizeof(float); }
+  std::size_t encode(const float* src, float* res, std::size_t n,
+                     std::uint8_t* wire) const override {
+    // Fold the carried-over error into the residual buffer first so the
+    // quant:: scale covers it too (an element whose residual pushed it past
+    // the raw amax must not clamp).
+    for (std::size_t i = 0; i < n; ++i) res[i] += src[i];
+    const float s = quant::compute_scale(res, n);
+    store<float>(wire, s);
+    std::uint8_t* lanes = wire + sizeof(float);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float t = res[i];
+      const std::int16_t q = quant::quantize_one(t, s);
+      res[i] = t - static_cast<float>(q) * s;
+      store<std::int16_t>(lanes + i * sizeof(std::int16_t), q);
+    }
+    return max_encoded_bytes(n);
+  }
+  void decode(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
+              float* dst, std::size_t n) const override {
+    const float s = load<float>(wire);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = lane(wire, i, s);
+  }
+  void decode_accumulate(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
+                         float* dst, std::size_t n) const override {
+    const float s = load<float>(wire);
+    for (std::size_t i = 0; i < n; ++i) dst[i] += lane(wire, i, s);
+  }
+
+ private:
+  /// One dequantized lane; the caller hoists the scale load (dst may alias
+  /// the byte buffer as far as the compiler knows, so it could not).
+  static float lane(const std::uint8_t* wire, std::size_t i, float s) {
+    return static_cast<float>(load<std::int16_t>(
+               wire + sizeof(float) + i * sizeof(std::int16_t))) *
+           s;
+  }
 };
 
+// Wire layout: [n x u16 bf16 lanes] (fp32 high halves after RNE rounding).
 class Bf16Codec final : public PayloadCodec {
  public:
   Codec kind() const override { return Codec::kBf16; }
-  void transmit(float* x, float* residual, std::size_t n) const override {
+  std::size_t max_encoded_bytes(std::size_t n) const override {
+    return n * sizeof(std::uint16_t);
+  }
+  std::size_t encode(const float* src, float* res, std::size_t n,
+                     std::uint8_t* wire) const override {
     for (std::size_t i = 0; i < n; ++i) {
-      const float t = x[i] + residual[i];
+      const float t = src[i] + res[i];
       const float d = quant::bf16_round(t);
-      residual[i] = t - d;
-      x[i] = d;
+      res[i] = t - d;
+      std::uint32_t u;
+      std::memcpy(&u, &d, sizeof(u));
+      store<std::uint16_t>(wire + i * sizeof(std::uint16_t),
+                           static_cast<std::uint16_t>(u >> 16));
     }
+    return max_encoded_bytes(n);
+  }
+  void decode(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
+              float* dst, std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = lane(wire, i);
+  }
+  void decode_accumulate(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
+                         float* dst, std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i) dst[i] += lane(wire, i);
+  }
+
+ private:
+  static float lane(const std::uint8_t* wire, std::size_t i) {
+    const std::uint32_t u =
+        static_cast<std::uint32_t>(
+            load<std::uint16_t>(wire + i * sizeof(std::uint16_t)))
+        << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
   }
 };
 
+// Sparsified top-k payload. Wire layout: [u32 k][k x u32 index, ascending]
+// [k x f32 value]. The kept coordinates travel as exact fp32, so their
+// residual is zero; every dropped coordinate lands whole in the residual
+// and is re-injected next round (classic error-feedback sparsification).
+class TopKCodec final : public PayloadCodec {
+ public:
+  explicit TopKCodec(double fraction) : fraction_(fraction) {}
+  Codec kind() const override { return Codec::kTopK; }
+  std::size_t max_encoded_bytes(std::size_t n) const override {
+    return sizeof(std::uint32_t) +
+           n * (sizeof(std::uint32_t) + sizeof(float));
+  }
+  /// Kept coordinates for an n-element payload: round(fraction*n) clamped
+  /// to [1, n] — a fraction that rounds to zero still ships one coordinate,
+  /// so every bucket makes forward progress each round.
+  std::size_t k_of(std::size_t n) const {
+    if (n == 0) return 0;
+    const auto k = static_cast<std::size_t>(
+        std::llround(fraction_ * static_cast<double>(n)));
+    return std::clamp<std::size_t>(k, 1, n);
+  }
+  std::size_t encode(const float* src, float* res, std::size_t n,
+                     std::uint8_t* wire) const override {
+    // Fold the carried-over error first: a coordinate dropped for several
+    // rounds grows in the residual until it out-ranks fresher entries.
+    for (std::size_t i = 0; i < n; ++i) res[i] += src[i];
+    const std::size_t k = k_of(n);
+    // Selection is a pure function of the folded values: magnitude order
+    // with ties broken by lowest index, so every rank / comm thread / pool
+    // size produces the identical wire payload for identical inputs. NaN
+    // magnitudes rank as +inf — they ship first (propagating like the dense
+    // codecs would) and, crucially, keep the comparator a strict weak
+    // ordering (a raw `>` on NaN compares false both ways, which is UB in
+    // nth_element/sort). The index workspace is per call, not thread_local:
+    // bulk-mode encodes cover whole-gradient chunks, and a sticky
+    // worst-case buffer on every encoding thread would dwarf the
+    // deliberately-sized CommScratch; one allocation is noise next to the
+    // selection itself.
+    std::vector<std::uint32_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0u);
+    if (k < n) {
+      const auto mag = [&](std::uint32_t i) {
+        const float m = std::abs(res[i]);
+        return std::isnan(m) ? std::numeric_limits<float>::infinity() : m;
+      };
+      std::nth_element(idx.begin(), idx.begin() + static_cast<long>(k) - 1,
+                       idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+                         const float ma = mag(a), mb = mag(b);
+                         return ma > mb || (ma == mb && a < b);
+                       });
+      std::sort(idx.begin(), idx.begin() + static_cast<long>(k));
+    }
+    store<std::uint32_t>(wire, static_cast<std::uint32_t>(k));
+    std::uint8_t* iw = wire + sizeof(std::uint32_t);
+    std::uint8_t* vw = iw + k * sizeof(std::uint32_t);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint32_t i = idx[j];
+      store<std::uint32_t>(iw + j * sizeof(std::uint32_t), i);
+      store<float>(vw + j * sizeof(float), res[i]);
+      res[i] = 0.0f;  // kept coordinates ship exactly: no encoding error
+    }
+    return sizeof(std::uint32_t) + k * (sizeof(std::uint32_t) + sizeof(float));
+  }
+  void decode(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
+              float* dst, std::size_t n) const override {
+    std::memset(dst, 0, n * sizeof(float));
+    decode_accumulate(wire, 0, dst, n);
+  }
+  void decode_accumulate(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
+                         float* dst, std::size_t /*n*/) const override {
+    const std::size_t k = load<std::uint32_t>(wire);
+    const std::uint8_t* iw = wire + sizeof(std::uint32_t);
+    const std::uint8_t* vw = iw + k * sizeof(std::uint32_t);
+    for (std::size_t j = 0; j < k; ++j)
+      dst[load<std::uint32_t>(iw + j * sizeof(std::uint32_t))] +=
+          load<float>(vw + j * sizeof(float));
+  }
+
+ private:
+  double fraction_;
+};
+
+void validate_topk_fraction(double f) {
+  if (!(f > 0.0) || f > 1.0)
+    throw std::invalid_argument(
+        "topk fraction must be in (0, 1], got " + std::to_string(f));
+}
+
 }  // namespace
+
+std::unique_ptr<const PayloadCodec> make_codec(Codec c, double topk_fraction) {
+  switch (c) {
+    case Codec::kInt16:
+      return std::make_unique<Int16Codec>();
+    case Codec::kBf16:
+      return std::make_unique<Bf16Codec>();
+    case Codec::kTopK:
+      validate_topk_fraction(topk_fraction);
+      return std::make_unique<TopKCodec>(topk_fraction);
+    default:
+      return std::make_unique<Fp32Codec>();
+  }
+}
 
 const PayloadCodec& get_codec(Codec c) {
   static const Fp32Codec fp32;
@@ -84,6 +281,12 @@ const PayloadCodec& get_codec(Codec c) {
       return int16;
     case Codec::kBf16:
       return bf16;
+    case Codec::kTopK:
+      // No singleton: a shared instance would silently pin the fraction,
+      // disagreeing with any configured topk_fraction.
+      throw std::invalid_argument(
+          "get_codec: topk is parameterized — use make_codec(Codec::kTopK, "
+          "fraction)");
     default:
       return fp32;
   }

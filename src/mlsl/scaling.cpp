@@ -1,5 +1,6 @@
 #include "mlsl/scaling.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
@@ -45,6 +46,16 @@ MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
         1024;
   if (const char* v = std::getenv("XCONV_MN_CODEC"))
     o.codec = codec_from_name(v);  // throws with the valid-name list
+  if (const char* v = std::getenv("XCONV_MN_TOPK")) {
+    char* end = nullptr;
+    errno = 0;
+    const double f = std::strtod(v, &end);
+    if (end == v || *end != '\0' || errno == ERANGE || !(f > 0.0) || f > 1.0)
+      throw std::invalid_argument(
+          "XCONV_MN_TOPK must be a fraction in (0, 1], got '" +
+          std::string(v) + "'");
+    o.topk_fraction = f;
+  }
   if (const char* v = std::getenv("XCONV_MN_COMM_THREADS"))
     o.comm_threads =
         static_cast<int>(parse_positive_long("XCONV_MN_COMM_THREADS", v));
@@ -66,7 +77,8 @@ MultiNodeTrainer::MultiNodeTrainer(const std::vector<gxm::NodeSpec>& topology,
                                    const MultiNodeOptions& mn)
     : nodes_(nodes),
       mn_(mn),
-      comm_(nodes, CommConfig{mn.codec, mn.comm_threads, mn.wire_gbs}) {
+      comm_(nodes, CommConfig{mn.codec, mn.comm_threads, mn.wire_gbs,
+                              mn.topk_fraction}) {
   graphs_.reserve(nodes_);
   for (int r = 0; r < nodes_; ++r) {
     gxm::GraphOptions o = opt;
@@ -194,7 +206,10 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
           : 1.0;
   st.residual_l2 = comm_.residual_l2(0);
   st.bucket_count = overlap ? buckets_.size() : 0;
-  st.bucket_bytes = ge * sizeof(float);
+  if (overlap)
+    for (const GradBucket& bk : buckets_)
+      st.bucket_bytes = std::max(st.bucket_bytes, bk.bytes());
+  st.gradient_bytes = ge * sizeof(float);
   return st;
 }
 

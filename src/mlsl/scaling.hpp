@@ -15,11 +15,13 @@
 //               overlapped" with the backward pass (Figure 9, ~90% parallel
 //               efficiency at 16 nodes).
 //
-// The wire payload runs through a pluggable codec (fp32 | int16 | bf16, see
-// mlsl/codec.hpp): weights stay fp32 masters on every rank; compressed
-// codecs halve wire bytes and carry error-feedback residuals so compressed
-// trajectories stay within a bounded loss gap of fp32. Under the fp32 codec
-// bulk and overlap trajectories are bit-for-bit identical.
+// The wire payload runs through a pluggable variable-rate codec (fp32 |
+// int16 | bf16 | topk, see mlsl/codec.hpp): weights stay fp32 masters on
+// every rank; compressed codecs shrink wire bytes (2x fixed-rate for
+// int16/bf16, sparsity-scaled for the top-k index+value payload) and carry
+// error-feedback residuals so compressed trajectories stay within a bounded
+// loss gap of fp32. Under the fp32 codec bulk and overlap trajectories are
+// bit-for-bit identical.
 #pragma once
 
 #include <memory>
@@ -40,6 +42,9 @@ struct MultiNodeOptions {
   std::size_t bucket_cap_bytes = std::size_t{4} << 20;
   /// Gradient wire-payload codec (both modes).
   Codec codec = Codec::kFp32;
+  /// Kept coordinate fraction per payload for Codec::kTopK, in (0, 1]
+  /// (ignored by the dense codecs).
+  double topk_fraction = 0.1;
   /// Background comm threads for the overlapped path (>= 1): the stand-in
   /// for multiple dedicated MLSL comm cores.
   int comm_threads = 1;
@@ -51,7 +56,8 @@ struct MultiNodeOptions {
   /// Environment overrides on top of `defaults`:
   ///   XCONV_MN_MODE         = bulk | overlap
   ///   XCONV_MN_BUCKET_KB    = bucket cap in KiB (positive integer)
-  ///   XCONV_MN_CODEC        = fp32 | int16 | bf16
+  ///   XCONV_MN_CODEC        = fp32 | int16 | bf16 | topk
+  ///   XCONV_MN_TOPK         = top-k kept fraction, in (0, 1]
   ///   XCONV_MN_COMM_THREADS = comm-thread pool size (positive integer)
   ///   XCONV_MN_WIRE_GBS     = simulated link bandwidth, GB/s (>= 0; 0 off)
   static MultiNodeOptions from_env(const MultiNodeOptions& defaults);
@@ -66,11 +72,14 @@ struct MultiNodeStats {
   double seconds = 0;
   double images_per_second = 0;  ///< aggregate across nodes
   float last_loss = 0;           ///< rank-0 loss
-  /// Logical fp32 ring bytes per rank per iteration (codec-independent).
+  /// Logical fp32 ring bytes per rank per iteration (codec-independent;
+  /// 0 on a single node — nothing moves).
   std::size_t allreduce_bytes_per_rank = 0;
-  /// Actual wire bytes per rank per iteration under the configured codec.
+  /// Measured wire bytes per rank per iteration under the configured codec
+  /// (from the actual encoded payload sizes; 0 on a single node).
   std::size_t wire_bytes_per_rank = 0;
-  /// allreduce_bytes_per_rank / wire_bytes_per_rank (1.0 for fp32).
+  /// allreduce_bytes_per_rank / wire_bytes_per_rank (1.0 for fp32 and for
+  /// single-node runs, where both byte counts are zero).
   double compression_ratio = 1.0;
   const char* mode = "bulk";
   const char* codec = "fp32";
@@ -85,8 +94,12 @@ struct MultiNodeStats {
   /// Rank-0 error-feedback residual L2 norm after the run (0 for fp32).
   double residual_l2 = 0;
   std::size_t bucket_count = 0;  ///< buckets per iteration (0 in bulk mode)
-  std::size_t bucket_bytes = 0;  ///< gradient payload per iteration, both
-                                 ///< modes (whole flat vector, fp32 bytes)
+  /// Largest bucket's fp32 payload bytes in overlap mode; 0 in bulk mode,
+  /// which has no buckets. (Used to misreport the whole flat gradient in
+  /// both modes — use `gradient_bytes` for that.)
+  std::size_t bucket_bytes = 0;
+  /// Whole flat gradient vector in fp32 bytes (mode- and codec-independent).
+  std::size_t gradient_bytes = 0;
 };
 
 class MultiNodeTrainer {

@@ -246,7 +246,14 @@ TEST(MultiNodeOverlap, StatsReportBucketsAndExposedComm) {
   EXPECT_STREQ(st.mode, "overlap");
   EXPECT_EQ(st.bucket_count, mt.buckets().size());
   EXPECT_GT(st.bucket_count, 1u);
-  EXPECT_EQ(st.bucket_bytes, mt.rank_graph(0).grad_elems() * sizeof(float));
+  // bucket_bytes is the largest bucket's payload (it used to misreport the
+  // whole flat gradient in both modes); gradient_bytes carries the latter.
+  std::size_t largest = 0;
+  for (const auto& bk : mt.buckets())
+    largest = std::max(largest, bk.bytes());
+  EXPECT_EQ(st.bucket_bytes, largest);
+  EXPECT_EQ(st.gradient_bytes,
+            mt.rank_graph(0).grad_elems() * sizeof(float));
   EXPECT_GE(st.exposed_comm_seconds, 0.0);
   EXPECT_GT(st.allreduce_bytes_per_rank, 0u);
 
@@ -254,7 +261,8 @@ TEST(MultiNodeOverlap, StatsReportBucketsAndExposedComm) {
   const auto bst = bk.train(2, s);
   EXPECT_STREQ(bst.mode, "bulk");
   EXPECT_EQ(bst.bucket_count, 0u);
-  EXPECT_EQ(bst.bucket_bytes, st.bucket_bytes);  // same payload, both modes
+  EXPECT_EQ(bst.bucket_bytes, 0u);  // no buckets in bulk mode
+  EXPECT_EQ(bst.gradient_bytes, st.gradient_bytes);  // same payload
   EXPECT_GT(bst.exposed_comm_seconds, 0.0);
 }
 

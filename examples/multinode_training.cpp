@@ -13,7 +13,11 @@
 // compressed codecs halve wire bytes; the sparsified top-k payload keeps
 // only the XCONV_MN_TOPK fraction of each bucket's coordinates — all with
 // error feedback), XCONV_MN_COMM_THREADS sizes the comm-thread pool, and
-// XCONV_MN_WIRE_GBS enables the simulated-wire delay model.
+// XCONV_MN_WIRE_GBS enables the simulated-wire delay model. Topology knobs:
+// XCONV_MN_ALGO=flat|hier picks the reduction schedule,
+// XCONV_MN_RANKS_PER_NODE shapes the two-level topology, and
+// XCONV_MN_INTRA_GBS / XCONV_MN_INTER_GBS / XCONV_MN_INTRA_LAT_US /
+// XCONV_MN_INTER_LAT_US set the heterogeneous per-level wire models.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -40,14 +44,18 @@ int main(int argc, char** argv) {
   gxm::Solver solver;
   solver.lr = 0.01f;
 
+  const mlsl::Topology& topo = trainer.comm().topology();
   std::printf("synchronous SGD on %d simulated nodes (ResNet-mini, distinct "
               "data shards, %s-mode allreduce on %zu gradient elements, "
-              "%s wire payload",
+              "%s wire payload, %s schedule over %dx%d topology",
               ranks, mlsl::sync_mode_name(mn.mode),
-              trainer.rank_graph(0).grad_elems(), mlsl::codec_name(mn.codec));
+              trainer.rank_graph(0).grad_elems(),
+              mlsl::codec_name(mn.comm.codec),
+              mlsl::reduce_algorithm_name(mn.comm.algorithm),
+              topo.ranks_per_node, topo.nodes);
   if (mn.mode == mlsl::SyncMode::kOverlap)
     std::printf(", %zu buckets, %d comm thread%s", trainer.buckets().size(),
-                mn.comm_threads, mn.comm_threads == 1 ? "" : "s");
+                mn.comm.comm_threads, mn.comm.comm_threads == 1 ? "" : "s");
   std::printf(")\n");
 
   // Report in chunks of up to 5 iterations; the final chunk carries the

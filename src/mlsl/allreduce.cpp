@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "mlsl/envparse.hpp"
 #include "platform/timer.hpp"
 
 namespace xconv::mlsl {
@@ -31,6 +32,49 @@ void scatter_bucket(const GradBucket& bk, const float* src, float* flat) {
 
 }  // namespace
 
+const char* reduce_algorithm_name(ReduceAlgorithm a) {
+  return a == ReduceAlgorithm::kHierarchical ? "hierarchical" : "flat";
+}
+
+ReduceAlgorithm reduce_algorithm_from_name(const std::string& s) {
+  if (s == "flat") return ReduceAlgorithm::kFlatRing;
+  if (s == "hier" || s == "hierarchical") return ReduceAlgorithm::kHierarchical;
+  throw std::invalid_argument(
+      "reduce algorithm must be 'flat', 'hier' or 'hierarchical', got '" + s +
+      "'");
+}
+
+CommConfig CommConfig::from_env(const CommConfig& defaults) {
+  CommConfig c = defaults;
+  if (const char* v = std::getenv("XCONV_MN_CODEC"))
+    c.codec = codec_from_name(v);  // throws with the valid-name list
+  if (const char* v = std::getenv("XCONV_MN_TOPK"))
+    c.topk_fraction = detail::env_fraction("XCONV_MN_TOPK", v);
+  if (const char* v = std::getenv("XCONV_MN_COMM_THREADS"))
+    c.comm_threads = static_cast<int>(
+        detail::env_positive_long("XCONV_MN_COMM_THREADS", v));
+  if (const char* v = std::getenv("XCONV_MN_WIRE_GBS"))
+    c.wire_gbs = detail::env_nonneg_double("XCONV_MN_WIRE_GBS", v);
+  if (const char* v = std::getenv("XCONV_MN_ALGO"))
+    c.algorithm = reduce_algorithm_from_name(v);
+  if (const char* v = std::getenv("XCONV_MN_RANKS_PER_NODE"))
+    c.topo.ranks_per_node = static_cast<int>(
+        detail::env_positive_long("XCONV_MN_RANKS_PER_NODE", v));
+  if (const char* v = std::getenv("XCONV_MN_INTRA_GBS"))
+    c.topo.intra.link_bandwidth_gbs =
+        detail::env_nonneg_double("XCONV_MN_INTRA_GBS", v);
+  if (const char* v = std::getenv("XCONV_MN_INTER_GBS"))
+    c.topo.inter.link_bandwidth_gbs =
+        detail::env_nonneg_double("XCONV_MN_INTER_GBS", v);
+  if (const char* v = std::getenv("XCONV_MN_INTRA_LAT_US"))
+    c.topo.intra.latency_us =
+        detail::env_nonneg_double("XCONV_MN_INTRA_LAT_US", v);
+  if (const char* v = std::getenv("XCONV_MN_INTER_LAT_US"))
+    c.topo.inter.latency_us =
+        detail::env_nonneg_double("XCONV_MN_INTER_LAT_US", v);
+  return c;
+}
+
 Communicator::Communicator(int ranks, const CommConfig& cfg)
     : ranks_(ranks), cfg_(cfg) {
   if (ranks < 1) throw std::invalid_argument("Communicator: ranks < 1");
@@ -38,13 +82,46 @@ Communicator::Communicator(int ranks, const CommConfig& cfg)
     throw std::invalid_argument("CommConfig: comm_threads must be >= 1");
   if (cfg.wire_gbs < 0.0)
     throw std::invalid_argument("CommConfig: wire_gbs must be >= 0");
+  cfg_.topo.validate();
+  // Resolve the topology against the actual rank count: derive the node
+  // count when the config left it 0, otherwise insist on an exact match —
+  // a silently truncated node grid would mis-route the hierarchy.
+  topo_ = cfg_.topo;
+  if (topo_.nodes == 0) {
+    if (ranks % topo_.ranks_per_node != 0)
+      throw std::invalid_argument(
+          "Communicator: ranks not divisible by Topology::ranks_per_node");
+    topo_.nodes = ranks / topo_.ranks_per_node;
+  } else if (topo_.ranks() != ranks) {
+    throw std::invalid_argument(
+        "Communicator: Topology ranks (ranks_per_node * nodes) != "
+        "communicator ranks");
+  }
+  // Legacy homogeneous wire: a scalar wire_gbs seeds both levels (latency 0)
+  // when the topology carries no bandwidths of its own, so pre-topology
+  // configurations keep their exact simulated-wire behavior.
+  if (cfg.wire_gbs > 0.0 && topo_.intra.link_bandwidth_gbs == 0.0 &&
+      topo_.inter.link_bandwidth_gbs == 0.0) {
+    topo_.intra = NetworkModel{cfg.wire_gbs, 0.0};
+    topo_.inter = NetworkModel{cfg.wire_gbs, 0.0};
+  }
+  rpn_ = topo_.ranks_per_node;
+  nnodes_ = topo_.nodes;
   codec_ = make_codec(cfg.codec, cfg.topk_fraction);  // validates fraction
   barrier_ = std::make_unique<std::barrier<>>(ranks_);
   overlap_bufs_.assign(ranks_, nullptr);
   residual_.resize(ranks_);
+  node_residual_.resize(nnodes_);
 }
 
 Communicator::~Communicator() {
+  {
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : rank_pool_)
+    if (t.joinable()) t.join();
   {
     const std::lock_guard<std::mutex> lock(mu_);
     stop_comm_ = true;
@@ -59,24 +136,49 @@ void Communicator::parallel(const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
-  std::vector<std::thread> ts;
-  ts.reserve(ranks_);
-  // Concurrent failing ranks must not assign the shared exception_ptr
-  // unsynchronized (std::exception_ptr assignment is not atomic): the mutex
-  // serializes publication and the first exception wins.
-  std::mutex err_mu;
-  std::exception_ptr err;
-  for (int r = 0; r < ranks_; ++r)
-    ts.emplace_back([&, r]() {
-      try {
-        fn(r);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(err_mu);
-        if (!err) err = std::current_exception();
-      }
-    });
-  for (auto& t : ts) t.join();
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  // Rank farm: spawn the R worker threads once, on first use, and
+  // re-dispatch them per call via a generation counter — at 64+ ranks the
+  // per-iteration cost is a broadcast + join instead of R thread spawns.
+  if (rank_pool_.empty()) {
+    rank_pool_.reserve(ranks_);
+    for (int r = 0; r < ranks_; ++r)
+      rank_pool_.emplace_back(&Communicator::rank_worker, this, r);
+  }
+  pool_fn_ = &fn;
+  pool_err_ = nullptr;  // first exception of *this* generation wins
+  pool_remaining_ = ranks_;
+  ++pool_gen_;
+  pool_cv_.notify_all();
+  pool_done_cv_.wait(lk, [&] { return pool_remaining_ == 0; });
+  pool_fn_ = nullptr;
+  std::exception_ptr err = pool_err_;
+  pool_err_ = nullptr;
+  lk.unlock();
   if (err) std::rethrow_exception(err);
+}
+
+void Communicator::rank_worker(int rank) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  for (;;) {
+    pool_cv_.wait(lk, [&] { return pool_stop_ || pool_gen_ != seen; });
+    if (pool_stop_) return;
+    seen = pool_gen_;
+    const std::function<void(int)>* fn = pool_fn_;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn)(rank);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    // Publication is serialized by pool_mu_ (std::exception_ptr assignment
+    // is not atomic); the dispatcher rethrows after the last rank checks in.
+    if (err && !pool_err_) pool_err_ = err;
+    if (--pool_remaining_ == 0) pool_done_cv_.notify_all();
+  }
 }
 
 void Communicator::barrier() {
@@ -88,6 +190,12 @@ void Communicator::ensure_residuals(std::size_t n) {
   for (std::vector<float>& r : residual_)
     if (r.size() < n) r.resize(n, 0.0f);
   if (sum_residual_.size() < n) sum_residual_.resize(n, 0.0f);
+  // The hierarchical schedule re-encodes per-node partial sums, which is a
+  // third compression point with its own error-feedback state. Only sized
+  // on hierarchical-capable topologies (p > 1 and N > 1).
+  if (rpn_ > 1 && nnodes_ > 1)
+    for (std::vector<float>& r : node_residual_)
+      if (r.size() < n) r.resize(n, 0.0f);
 }
 
 double Communicator::residual_l2(int r) const {
@@ -96,16 +204,70 @@ double Communicator::residual_l2(int r) const {
   return std::sqrt(s);
 }
 
-double Communicator::wire_seconds(std::size_t wire_bytes) const {
-  if (cfg_.wire_gbs <= 0.0 || ranks_ <= 1) return 0.0;
-  // `wire_bytes` is the *published* per-rank counter value — ring factor
-  // and any per-payload overhead already folded in — so the delay is a pure
-  // bandwidth division. This keeps the slept-out time and the wire_bytes_
-  // counters in lockstep by construction (they used to disagree: the delay
-  // was re-derived from n * payload without the overhead term), matching a
-  // zero-latency NetworkModel, which is what NetworkModel::from_measured
-  // calibrates against for the projected-vs-measured reconciliation.
-  return static_cast<double>(wire_bytes) / (cfg_.wire_gbs * 1e9);
+CommStats Communicator::stats() const {
+  CommStats s;
+  s.bulk_logical_bytes_per_rank = last_bytes_.load(std::memory_order_relaxed);
+  s.overlap_logical_bytes_per_rank =
+      overlap_bytes_.load(std::memory_order_relaxed);
+  s.wire_bytes_per_rank = wire_bytes_.load(std::memory_order_relaxed);
+  s.intra_wire_bytes_per_rank = intra_bytes_.load(std::memory_order_relaxed);
+  s.inter_wire_bytes_per_rank = inter_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Communicator::WireSplit Communicator::split_wire(bool hier,
+                                                 std::size_t contrib_total,
+                                                 std::size_t partial_total,
+                                                 std::size_t sum_bytes) const {
+  WireSplit w;
+  if (ranks_ <= 1) return w;
+  if (!hier) {
+    // Flat ring spans all R ranks: the traffic crosses the inter-node level
+    // whenever the topology has more than one node (a single-node topology
+    // keeps it on the intra fabric). 2*(R-1) latency-bearing ring steps.
+    const std::size_t bytes = ring_wire_bytes(contrib_total, sum_bytes);
+    const double steps = 2.0 * (ranks_ - 1);
+    if (nnodes_ > 1) {
+      w.inter_bytes = bytes;
+      w.inter_steps = steps;
+    } else {
+      w.intra_bytes = bytes;
+      w.intra_steps = steps;
+    }
+    return w;
+  }
+  // Hierarchical: intra-node reduce ships (p-1)/p of the mean contribution
+  // payload per rank plus the (p-1)/p broadcast share of the reduced sum;
+  // the leader ring ships (N-1)/N of the mean node-partial payload plus
+  // (N-1)/N of the sum. Latency steps: 2(p-1) intra, 2(N-1) inter — the
+  // step-count collapse (vs the flat ring's 2(R-1)) is where the
+  // hierarchy's latency win comes from.
+  const auto R = static_cast<std::size_t>(ranks_);
+  const auto p = static_cast<std::size_t>(rpn_);
+  const auto N = static_cast<std::size_t>(nnodes_);
+  w.intra_bytes = (p - 1) * (contrib_total / R + sum_bytes) / p;
+  w.inter_bytes = (N - 1) * (partial_total / N + sum_bytes) / N;
+  w.intra_steps = 2.0 * static_cast<double>(p - 1);
+  w.inter_steps = 2.0 * static_cast<double>(N - 1);
+  return w;
+}
+
+double Communicator::wire_seconds(const WireSplit& w) const {
+  if (ranks_ <= 1) return 0.0;
+  // Per level: transmission of exactly the *published* byte count at the
+  // level's bandwidth, plus the schedule's step count worth of per-message
+  // latency. Zero bandwidth disables a level entirely (shared memory is the
+  // wire), which also keeps legacy wire_gbs seeding latency-free.
+  double t = 0.0;
+  const NetworkModel& ia = topo_.intra;
+  if (ia.link_bandwidth_gbs > 0.0)
+    t += static_cast<double>(w.intra_bytes) / (ia.link_bandwidth_gbs * 1e9) +
+         w.intra_steps * ia.chunk_messages * ia.latency_us * 1e-6;
+  const NetworkModel& ie = topo_.inter;
+  if (ie.link_bandwidth_gbs > 0.0)
+    t += static_cast<double>(w.inter_bytes) / (ie.link_bandwidth_gbs * 1e9) +
+         w.inter_steps * ie.chunk_messages * ie.latency_us * 1e-6;
+  return t;
 }
 
 void Communicator::wait_out_wire(double delay, double elapsed) const {
@@ -123,16 +285,21 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
     // compression ratio derived from them stay truthful.
     last_bytes_.store(0, std::memory_order_relaxed);
     wire_bytes_.store(0, std::memory_order_relaxed);
+    intra_bytes_.store(0, std::memory_order_relaxed);
+    inter_bytes_.store(0, std::memory_order_relaxed);
     return;
   }
   const int R = ranks_;
+  const bool hier = hier_effective(cfg_.algorithm);
+  const int p = rpn_;
+  const int N = nnodes_;
   // Chunk layout: R near-equal chunks, chunk c owned by rank c.
   auto chunk_begin = [&](int c) { return n * c / R; };
   auto chunk_end = [&](int c) { return n * (c + 1) / R; };
   const bool compressed = cfg_.codec != Codec::kFp32;
   const bool ef = codec_->uses_residual();
   platform::Timer tx;
-  std::size_t wire = 0;
+  std::size_t contrib_total = 0, partial_total = 0, sum_total = 0;
 
   barrier();
   if (compressed) {
@@ -140,7 +307,7 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
     // writes only its own wire buffer / owner chunk / byte-count slots
     // between barriers, and the error-feedback residuals partition cleanly:
     // contribution-leg residuals are per rank, sum-leg residuals per owner
-    // chunk.
+    // chunk, and (hierarchical only) partial-leg residuals per node.
     if (rank == 0) {
       ensure_residuals(n);
       std::size_t max_chunk = 0;
@@ -154,6 +321,14 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
         if (w.size() < need) w.resize(need);
       bulk_chunk_bytes_.assign(static_cast<std::size_t>(R) * R, 0);
       bulk_sum_bytes_.assign(R, 0);
+      if (hier) {
+        bulk_partial_wire_.resize(N);
+        const std::size_t pneed =
+            static_cast<std::size_t>(R) * bulk_slot_stride_;
+        for (std::vector<std::uint8_t>& w : bulk_partial_wire_)
+          if (w.size() < pneed) w.resize(pneed);
+        bulk_partial_bytes_.assign(static_cast<std::size_t>(R) * N, 0);
+      }
     }
     barrier();
     // Reduce-scatter leg: this rank's contribution goes on the wire in R
@@ -168,19 +343,62 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
                          bulk_wire_[rank].data() + c * stride);
     }
     barrier();
-    // Owner accumulates its chunk from the encoded payloads in canonical
-    // rank order, then re-encodes the sum for the allgather leg (with its
-    // own error feedback, so the re-encode error is re-injected next time)
-    // and decodes it in place so every rank gathers wire-faithful values.
     const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
     const std::size_t own = static_cast<std::size_t>(rank);
-    codec_->decode(bulk_wire_[0].data() + own * stride,
-                   bulk_chunk_bytes_[own], bufs[rank] + b, e - b);
-    for (int r = 1; r < R; ++r)
-      codec_->decode_accumulate(
-          bulk_wire_[r].data() + own * stride,
-          bulk_chunk_bytes_[static_cast<std::size_t>(r) * R + own],
-          bufs[rank] + b, e - b);
+    if (hier) {
+      // Intra-node reduce: each node leader accumulates its node's p
+      // contribution payloads per chunk (canonical rank order within the
+      // node) and re-encodes the node-partial — with the node's own
+      // error-feedback residual, so the re-encode error is re-injected next
+      // iteration — for the leader ring.
+      if (rank % p == 0) {
+        const int g = rank / p;
+        std::size_t max_chunk = 0;
+        for (int c = 0; c < R; ++c)
+          max_chunk = std::max(max_chunk, chunk_end(c) - chunk_begin(c));
+        std::vector<float> part(max_chunk);
+        for (int c = 0; c < R; ++c) {
+          const std::size_t cb = chunk_begin(c);
+          const std::size_t clen = chunk_end(c) - cb;
+          const int r0 = g * p;
+          codec_->decode(bulk_wire_[r0].data() + c * stride,
+                         bulk_chunk_bytes_[static_cast<std::size_t>(r0) * R + c],
+                         part.data(), clen);
+          for (int r = r0 + 1; r < r0 + p; ++r)
+            codec_->decode_accumulate(
+                bulk_wire_[r].data() + c * stride,
+                bulk_chunk_bytes_[static_cast<std::size_t>(r) * R + c],
+                part.data(), clen);
+          bulk_partial_bytes_[static_cast<std::size_t>(c) * N + g] =
+              codec_->encode(part.data(),
+                             ef ? node_residual_[g].data() + cb : nullptr,
+                             clen, bulk_partial_wire_[g].data() + c * stride);
+        }
+      }
+      barrier();
+      // Leader-ring leg: the chunk owner accumulates the N node-partial
+      // payloads in canonical node order 0..N-1 — every rank decodes the
+      // same payload sequence, so replicas cannot diverge.
+      codec_->decode(bulk_partial_wire_[0].data() + own * stride,
+                     bulk_partial_bytes_[own * N], bufs[rank] + b, e - b);
+      for (int g = 1; g < N; ++g)
+        codec_->decode_accumulate(bulk_partial_wire_[g].data() + own * stride,
+                                  bulk_partial_bytes_[own * N + g],
+                                  bufs[rank] + b, e - b);
+    } else {
+      // Owner accumulates its chunk from the encoded payloads in canonical
+      // rank order.
+      codec_->decode(bulk_wire_[0].data() + own * stride,
+                     bulk_chunk_bytes_[own], bufs[rank] + b, e - b);
+      for (int r = 1; r < R; ++r)
+        codec_->decode_accumulate(
+            bulk_wire_[r].data() + own * stride,
+            bulk_chunk_bytes_[static_cast<std::size_t>(r) * R + own],
+            bufs[rank] + b, e - b);
+    }
+    // Sum re-encode for the allgather/broadcast leg (with its own error
+    // feedback, so the re-encode error is re-injected next time), decoded
+    // in place so every rank gathers wire-faithful values.
     std::uint8_t* sum_wire =
         bulk_wire_[rank].data() + static_cast<std::size_t>(R) * stride;
     bulk_sum_bytes_[rank] =
@@ -189,13 +407,15 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
                        sum_wire);
     codec_->decode(sum_wire, bulk_sum_bytes_[rank], bufs[rank] + b, e - b);
   } else {
-    // Reduce-scatter: each rank sums all ranks' contributions to its own
-    // chunk in canonical rank order 0..R-1 — the same per-element order the
-    // overlapped bucket path uses, so bulk and overlapped training stay
-    // bit-for-bit comparable. Each rank writes only its own chunk and reads
-    // other chunks only after the closing barrier, so no per-step barriers
-    // are needed; traffic equivalence with a ring reduce-scatter is
-    // retained in the published byte count ((R-1)/R * n per rank).
+    // fp32 (exact codec): each rank sums all ranks' contributions to its
+    // own chunk in canonical rank order 0..R-1 — the same per-element order
+    // the overlapped bucket path uses, so bulk and overlapped training stay
+    // bit-for-bit comparable. The *same* arithmetic serves both schedules:
+    // fp32 wire hops are exact memcpys, so a physically two-level data
+    // movement would reproduce these bits anyway — the hierarchy shows up
+    // only in the byte accounting and the simulated-wire delay below,
+    // which is what makes flat-vs-hierarchical bitwise equality a testable
+    // invariant instead of a numerical accident.
     const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
     for (std::size_t i = b; i < e; ++i) {
       float acc = bufs[0][i];
@@ -212,26 +432,35 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
   }
   // Per-rank wire bytes from the *measured* encoded payload sizes (every
   // rank computes the same value from the shared byte-count tables, all
-  // published before the pre-allgather barrier). fp32 moves raw ring bytes.
+  // published before the pre-allgather barriers). fp32 synthesizes the
+  // equivalent exact-payload totals.
   if (compressed) {
-    std::size_t contrib = 0, sum_b = 0;
-    for (const std::size_t b : bulk_chunk_bytes_) contrib += b;
-    for (const std::size_t b : bulk_sum_bytes_) sum_b += b;
-    wire = ring_wire_bytes(contrib, sum_b);
+    for (const std::size_t bb : bulk_chunk_bytes_) contrib_total += bb;
+    for (const std::size_t bb : bulk_sum_bytes_) sum_total += bb;
+    if (hier)
+      for (const std::size_t bb : bulk_partial_bytes_) partial_total += bb;
   } else {
-    wire = ring_bytes(n, sizeof(float));
+    const std::size_t payload = codec_->max_encoded_bytes(n);
+    contrib_total = static_cast<std::size_t>(R) * payload;
+    partial_total = static_cast<std::size_t>(N) * payload;
+    sum_total = payload;
   }
+  const WireSplit ws = split_wire(hier, contrib_total, partial_total,
+                                  sum_total);
   // Publish the traffic counts *before* the final barrier (they used to be
   // written after, racing with ranks already inside a subsequent call) and
   // through atomics so concurrent readers are always well-defined.
   if (rank == 0) {
     last_bytes_.store(ring_bytes(n, sizeof(float)), std::memory_order_relaxed);
-    wire_bytes_.store(wire, std::memory_order_relaxed);
+    wire_bytes_.store(ws.total(), std::memory_order_relaxed);
+    intra_bytes_.store(ws.intra_bytes, std::memory_order_relaxed);
+    inter_bytes_.store(ws.inter_bytes, std::memory_order_relaxed);
   }
-  // Simulated wire: every rank waits out the transmission time of exactly
-  // the byte count published above, so compression shows up in wall time,
-  // not just counters — and the two can never drift apart.
-  wait_out_wire(wire_seconds(wire), tx.seconds());
+  // Simulated wire: every rank waits out the per-level transmission time of
+  // exactly the byte split published above, so compression and topology
+  // show up in wall time, not just counters — and the two can never drift
+  // apart.
+  wait_out_wire(wire_seconds(ws), tx.seconds());
   barrier();
 }
 
@@ -259,9 +488,12 @@ void Communicator::set_buckets(std::vector<GradBucket> buckets) {
   ensure_residuals(flat_elems);
   comm_scratch_.resize(cfg_.comm_threads);
   if (cfg_.codec != Codec::kFp32) {  // the fp32 fast path sums in place
+    // Four bucket-sized float areas (contribution, residual, node-partial,
+    // running sum) + one wire payload per comm thread — bounded regardless
+    // of the rank count, so a 64+-rank farm does not scale scratch with R.
     const std::size_t wire_need = codec_->max_encoded_bytes(max_bucket);
     for (CommScratch& s : comm_scratch_) {
-      if (s.f.size() < 3 * max_bucket) s.f.resize(3 * max_bucket);
+      if (s.f.size() < 4 * max_bucket) s.f.resize(4 * max_bucket);
       if (s.wire.size() < wire_need) s.wire.resize(wire_need);
     }
   }
@@ -285,6 +517,8 @@ void Communicator::overlap_begin(int rank, float* buf) {
       next_bucket_ = 0;
       overlap_bytes_.store(0, std::memory_order_relaxed);
       wire_bytes_.store(0, std::memory_order_relaxed);
+      intra_bytes_.store(0, std::memory_order_relaxed);
+      inter_bytes_.store(0, std::memory_order_relaxed);
     }
   }
   barrier();
@@ -348,15 +582,21 @@ void Communicator::comm_loop(int tid) {
 
 void Communicator::reduce_bucket(const GradBucket& bk, CommScratch& scratch) {
   const int R = ranks_;
+  // The schedule is resolved per bucket: an explicit GradBucket::algorithm
+  // wins, else the communicator default; hierarchical degenerates to flat
+  // on non-hierarchical topologies.
+  const bool hier = hier_effective(bk.algorithm.value_or(cfg_.algorithm));
   platform::Timer tx;
   const std::size_t n = bk.elems;
-  std::size_t contrib_bytes = 0, sum_bytes = 0;
+  std::size_t contrib_bytes = 0, partial_bytes = 0, sum_bytes = 0;
   if (cfg_.codec == Codec::kFp32) {
     // Exact-codec fast path (mirroring the bulk path's split): fp32's
     // encode/decode are memcpys, so sum in place across the rank buffers —
     // one fused pass, no scratch traffic on the comm threads whose
     // bandwidth the overlap is supposed to leave to backward compute. The
-    // canonical rank order 0..R-1 matches the generic path bit for bit.
+    // canonical rank order 0..R-1 matches the generic path bit for bit, and
+    // serves both schedules — flat vs hierarchical differ only in the byte
+    // split and delay below, keeping fp32 bitwise schedule-independent.
     for (const GradBucket::Segment& seg : bk.segments) {
       const std::size_t lo = seg.offset, hi = seg.offset + seg.elems;
       for (std::size_t i = lo; i < hi; ++i) {
@@ -366,32 +606,73 @@ void Communicator::reduce_bucket(const GradBucket& bk, CommScratch& scratch) {
       }
     }
     // What the wire would have carried: one exact payload per leg.
-    contrib_bytes = static_cast<std::size_t>(R) * codec_->max_encoded_bytes(n);
-    sum_bytes = codec_->max_encoded_bytes(n);
+    const std::size_t payload = codec_->max_encoded_bytes(n);
+    contrib_bytes = static_cast<std::size_t>(R) * payload;
+    partial_bytes = static_cast<std::size_t>(nnodes_) * payload;
+    sum_bytes = payload;
   } else {
     // Generic variable-rate path: gather each rank's bucket slices into a
     // contiguous payload (so per-payload codec state — a scale, a top-k
     // selection — covers the whole bucket), encode it onto the wire with
-    // error feedback, accumulate the decoded contributions into the running
-    // sum in canonical rank order 0..R-1 (rank 0 decodes by overwrite),
-    // re-encode the sum for the allgather leg with its own shared residual,
-    // and scatter the decoded result to every rank.
+    // error feedback, accumulate decoded payloads in canonical order, and
+    // scatter the decoded re-encoded sum to every rank.
     const bool ef = codec_->uses_residual();
     float* x = scratch.f.data();
     float* res = x + n;
-    float* sum = res + n;
+    float* part = res + n;  // node-partial accumulator (hierarchical only)
+    float* sum = part + n;
     std::uint8_t* wire = scratch.wire.data();
-    for (int r = 0; r < R; ++r) {
-      gather_bucket(bk, overlap_bufs_[r], x);
-      if (ef) gather_bucket(bk, residual_[r].data(), res);
-      const std::size_t wb = codec_->encode(x, ef ? res : nullptr, n, wire);
-      if (ef) scatter_bucket(bk, res, residual_[r].data());
-      contrib_bytes += wb;
-      if (r == 0)
-        codec_->decode(wire, wb, sum, n);
-      else
-        codec_->decode_accumulate(wire, wb, sum, n);
+    if (hier) {
+      // Two-level pipeline: per node, accumulate the node's contributions
+      // (canonical rank order within the node), re-encode the node-partial
+      // with the node's own error-feedback residual — a genuine third
+      // compression point, what a real leader ring would put on the
+      // inter-node wire — then accumulate the decoded partials in canonical
+      // node order 0..N-1.
+      const int p = rpn_;
+      const int N = nnodes_;
+      for (int g = 0; g < N; ++g) {
+        for (int j = 0; j < p; ++j) {
+          const int r = g * p + j;
+          gather_bucket(bk, overlap_bufs_[r], x);
+          if (ef) gather_bucket(bk, residual_[r].data(), res);
+          const std::size_t wb =
+              codec_->encode(x, ef ? res : nullptr, n, wire);
+          if (ef) scatter_bucket(bk, res, residual_[r].data());
+          contrib_bytes += wb;
+          if (j == 0)
+            codec_->decode(wire, wb, part, n);
+          else
+            codec_->decode_accumulate(wire, wb, part, n);
+        }
+        if (ef) gather_bucket(bk, node_residual_[g].data(), res);
+        const std::size_t pb = codec_->encode(part, ef ? res : nullptr, n,
+                                              wire);
+        if (ef) scatter_bucket(bk, res, node_residual_[g].data());
+        partial_bytes += pb;
+        if (g == 0)
+          codec_->decode(wire, pb, sum, n);
+        else
+          codec_->decode_accumulate(wire, pb, sum, n);
+      }
+    } else {
+      // Flat ring: accumulate the decoded contributions into the running
+      // sum in canonical rank order 0..R-1 (rank 0 decodes by overwrite).
+      for (int r = 0; r < R; ++r) {
+        gather_bucket(bk, overlap_bufs_[r], x);
+        if (ef) gather_bucket(bk, residual_[r].data(), res);
+        const std::size_t wb = codec_->encode(x, ef ? res : nullptr, n, wire);
+        if (ef) scatter_bucket(bk, res, residual_[r].data());
+        contrib_bytes += wb;
+        if (r == 0)
+          codec_->decode(wire, wb, sum, n);
+        else
+          codec_->decode_accumulate(wire, wb, sum, n);
+      }
     }
+    // Sum re-encode for the allgather/broadcast leg with its own shared
+    // residual; every rank receives the same decoded payload, so replicas
+    // stay in sync under either schedule.
     if (ef) gather_bucket(bk, sum_residual_.data(), res);
     sum_bytes = codec_->encode(sum, ef ? res : nullptr, n, wire);
     if (ef) scatter_bucket(bk, res, sum_residual_.data());
@@ -399,12 +680,15 @@ void Communicator::reduce_bucket(const GradBucket& bk, CommScratch& scratch) {
     for (int r = 0; r < R; ++r) scatter_bucket(bk, sum, overlap_bufs_[r]);
   }
 
-  const std::size_t wire_pub = ring_wire_bytes(contrib_bytes, sum_bytes);
+  const WireSplit ws = split_wire(hier, contrib_bytes, partial_bytes,
+                                  sum_bytes);
   overlap_bytes_.fetch_add(ring_bytes(bk.elems, sizeof(float)),
                            std::memory_order_relaxed);
-  wire_bytes_.fetch_add(wire_pub, std::memory_order_relaxed);
-  // The simulated wire waits out exactly the bytes published above.
-  wait_out_wire(wire_seconds(wire_pub), tx.seconds());
+  wire_bytes_.fetch_add(ws.total(), std::memory_order_relaxed);
+  intra_bytes_.fetch_add(ws.intra_bytes, std::memory_order_relaxed);
+  inter_bytes_.fetch_add(ws.inter_bytes, std::memory_order_relaxed);
+  // The simulated wire waits out exactly the byte split published above.
+  wait_out_wire(wire_seconds(ws), tx.seconds());
 }
 
 }  // namespace xconv::mlsl

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 namespace xconv::mlsl {
 
@@ -31,14 +33,76 @@ NetworkModel NetworkModel::from_measured(std::size_t bytes, int nodes,
   return net;
 }
 
+NetworkModel NetworkModel::from_measured(std::size_t bytes_small,
+                                         double seconds_small,
+                                         std::size_t bytes_large,
+                                         double seconds_large, int nodes) {
+  if (bytes_small > bytes_large) {
+    std::swap(bytes_small, bytes_large);
+    std::swap(seconds_small, seconds_large);
+  }
+  // Degenerate samples cannot separate latency from bandwidth: fall back to
+  // the one-point fold on the larger (better-conditioned) sample.
+  if (nodes <= 1 || bytes_small == bytes_large ||
+      seconds_large <= seconds_small || seconds_small <= 0.0)
+    return from_measured(bytes_large, nodes, seconds_large);
+  NetworkModel net;
+  const double r = static_cast<double>(nodes);
+  const double ring = 2.0 * (r - 1.0) / r;
+  const double v1 = ring * static_cast<double>(bytes_small);
+  const double v2 = ring * static_cast<double>(bytes_large);
+  // t_i = v_i / BW + L * latency with L = 2(k-1) * chunk_messages: two
+  // equations, two unknowns.
+  const double inv_bw = (seconds_large - seconds_small) / (v2 - v1);
+  net.link_bandwidth_gbs = 1.0 / inv_bw / 1e9;
+  const double lat_steps = 2.0 * (r - 1.0) * net.chunk_messages;
+  net.latency_us = std::max(0.0, (seconds_small - v1 * inv_bw) / lat_steps) *
+                   1e6;
+  return net;
+}
+
+void Topology::validate() const {
+  if (ranks_per_node < 1)
+    throw std::invalid_argument("Topology: ranks_per_node must be >= 1");
+  if (nodes < 0)
+    throw std::invalid_argument("Topology: nodes must be >= 0");
+  for (const NetworkModel* m : {&intra, &inter}) {
+    if (m->link_bandwidth_gbs < 0.0)
+      throw std::invalid_argument("Topology: link bandwidth must be >= 0");
+    if (m->latency_us < 0.0)
+      throw std::invalid_argument("Topology: latency must be >= 0");
+    if (m->chunk_messages < 1)
+      throw std::invalid_argument("Topology: chunk_messages must be >= 1");
+  }
+}
+
 ScalingPoint project_scaling(const ScalingConfig& cfg, int nodes) {
   ScalingPoint pt;
   pt.nodes = nodes;
   const double t_compute =
       cfg.local_minibatch / (cfg.single_node_img_s * cfg.comm_core_penalty);
   const double t_ar = cfg.net.allreduce_seconds(cfg.gradient_bytes, nodes);
-  const double overlap_window = cfg.backward_fraction * t_compute;
-  const double exposed = std::max(0.0, t_ar - overlap_window);
+  const bool have_profile = cfg.measured_nodes > 1 &&
+                            !cfg.bucket_bytes.empty() &&
+                            cfg.bucket_bytes.size() ==
+                                cfg.bucket_wait_seconds.size();
+  double exposed = 0.0;
+  if (have_profile) {
+    // Measured per-bucket wait histogram: each bucket's overlap window is
+    // whatever the backward pass demonstrably hid at measurement scale, and
+    // the projection re-exposes only the ring-time growth beyond it.
+    for (std::size_t b = 0; b < cfg.bucket_bytes.size(); ++b) {
+      const double t_meas =
+          cfg.net.allreduce_seconds(cfg.bucket_bytes[b], cfg.measured_nodes);
+      const double window =
+          std::max(0.0, t_meas - std::max(0.0, cfg.bucket_wait_seconds[b]));
+      exposed += std::max(
+          0.0, cfg.net.allreduce_seconds(cfg.bucket_bytes[b], nodes) - window);
+    }
+  } else {
+    const double overlap_window = cfg.backward_fraction * t_compute;
+    exposed = std::max(0.0, t_ar - overlap_window);
+  }
   const double sync = nodes > 1 ? cfg.sync_overhead_frac *
                                       std::log2(static_cast<double>(nodes)) *
                                       t_compute

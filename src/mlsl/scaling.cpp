@@ -1,11 +1,11 @@
 #include "mlsl/scaling.hpp"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "mlsl/envparse.hpp"
 #include "platform/timer.hpp"
 
 namespace xconv::mlsl {
@@ -13,21 +13,6 @@ namespace xconv::mlsl {
 const char* sync_mode_name(SyncMode m) {
   return m == SyncMode::kOverlap ? "overlap" : "bulk";
 }
-
-namespace {
-
-long parse_positive_long(const char* name, const char* v) {
-  char* end = nullptr;
-  errno = 0;
-  const long x = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE || x <= 0)
-    throw std::invalid_argument(std::string(name) +
-                                " must be a positive integer, got '" +
-                                std::string(v) + "'");
-  return x;
-}
-
-}  // namespace
 
 MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
   MultiNodeOptions o = defaults;
@@ -41,44 +26,19 @@ MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
       throw std::invalid_argument("XCONV_MN_MODE must be 'bulk' or 'overlap'");
   }
   if (const char* v = std::getenv("XCONV_MN_BUCKET_KB"))
-    o.bucket_cap_bytes =
-        static_cast<std::size_t>(parse_positive_long("XCONV_MN_BUCKET_KB", v)) *
-        1024;
-  if (const char* v = std::getenv("XCONV_MN_CODEC"))
-    o.codec = codec_from_name(v);  // throws with the valid-name list
-  if (const char* v = std::getenv("XCONV_MN_TOPK")) {
-    char* end = nullptr;
-    errno = 0;
-    const double f = std::strtod(v, &end);
-    if (end == v || *end != '\0' || errno == ERANGE || !(f > 0.0) || f > 1.0)
-      throw std::invalid_argument(
-          "XCONV_MN_TOPK must be a fraction in (0, 1], got '" +
-          std::string(v) + "'");
-    o.topk_fraction = f;
-  }
-  if (const char* v = std::getenv("XCONV_MN_COMM_THREADS"))
-    o.comm_threads =
-        static_cast<int>(parse_positive_long("XCONV_MN_COMM_THREADS", v));
-  if (const char* v = std::getenv("XCONV_MN_WIRE_GBS")) {
-    char* end = nullptr;
-    errno = 0;
-    const double g = std::strtod(v, &end);
-    if (end == v || *end != '\0' || errno == ERANGE || g < 0.0)
-      throw std::invalid_argument(
-          "XCONV_MN_WIRE_GBS must be a non-negative number, got '" +
-          std::string(v) + "'");
-    o.wire_gbs = g;
-  }
+    o.bucket_cap_bytes = static_cast<std::size_t>(detail::env_positive_long(
+                             "XCONV_MN_BUCKET_KB", v)) *
+                         1024;
+  // Every communicator-level knob (codec, topology, algorithm, wire models,
+  // comm threads) parses in one place.
+  o.comm = CommConfig::from_env(o.comm);
   return o;
 }
 
 MultiNodeTrainer::MultiNodeTrainer(const std::vector<gxm::NodeSpec>& topology,
                                    int nodes, const gxm::GraphOptions& opt,
                                    const MultiNodeOptions& mn)
-    : nodes_(nodes),
-      mn_(mn),
-      comm_(nodes, CommConfig{mn.codec, mn.comm_threads, mn.wire_gbs,
-                              mn.topk_fraction}) {
+    : nodes_(nodes), mn_(mn), comm_(nodes, mn.comm) {
   graphs_.reserve(nodes_);
   for (int r = 0; r < nodes_; ++r) {
     gxm::GraphOptions o = opt;
@@ -124,8 +84,11 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
   st.nodes = nodes_;
   st.iterations = iters;
   st.mode = sync_mode_name(mn_.mode);
-  st.codec = codec_name(mn_.codec);
-  st.comm_threads = mn_.comm_threads;
+  st.codec = codec_name(mn_.comm.codec);
+  st.algorithm = reduce_algorithm_name(mn_.comm.algorithm);
+  st.ranks_per_node = comm_.topology().ranks_per_node;
+  st.topo_nodes = comm_.topology().nodes;
+  st.comm_threads = mn_.comm.comm_threads;
   const std::size_t ge = graphs_[0]->grad_elems();
   const int batch = graphs_[0]->input()->tops[0]->shape.n;
   const bool overlap = mn_.mode == SyncMode::kOverlap;
@@ -196,9 +159,12 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
       st.seconds > 0
           ? static_cast<double>(iters) * batch * nodes_ / st.seconds
           : 0;
-  st.allreduce_bytes_per_rank = overlap ? comm_.overlap_bytes_per_rank()
-                                        : comm_.last_bytes_per_rank();
-  st.wire_bytes_per_rank = comm_.wire_bytes_per_rank();
+  const CommStats cs = comm_.stats();
+  st.allreduce_bytes_per_rank = overlap ? cs.overlap_logical_bytes_per_rank
+                                        : cs.bulk_logical_bytes_per_rank;
+  st.wire_bytes_per_rank = cs.wire_bytes_per_rank;
+  st.intra_wire_bytes_per_rank = cs.intra_wire_bytes_per_rank;
+  st.inter_wire_bytes_per_rank = cs.inter_wire_bytes_per_rank;
   st.compression_ratio =
       st.wire_bytes_per_rank > 0
           ? static_cast<double>(st.allreduce_bytes_per_rank) /
@@ -207,8 +173,10 @@ MultiNodeStats MultiNodeTrainer::train(int iters, const gxm::Solver& solver) {
   st.residual_l2 = comm_.residual_l2(0);
   st.bucket_count = overlap ? buckets_.size() : 0;
   if (overlap)
-    for (const GradBucket& bk : buckets_)
+    for (const GradBucket& bk : buckets_) {
       st.bucket_bytes = std::max(st.bucket_bytes, bk.bytes());
+      st.bucket_payload_bytes.push_back(bk.bytes());
+    }
   st.gradient_bytes = ge * sizeof(float);
   return st;
 }

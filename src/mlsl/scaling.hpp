@@ -40,26 +40,19 @@ struct MultiNodeOptions {
   /// Overlap-mode bucket payload cap. Buckets hold at least one layer; a
   /// layer larger than the cap gets a bucket of its own.
   std::size_t bucket_cap_bytes = std::size_t{4} << 20;
-  /// Gradient wire-payload codec (both modes).
-  Codec codec = Codec::kFp32;
-  /// Kept coordinate fraction per payload for Codec::kTopK, in (0, 1]
-  /// (ignored by the dense codecs).
-  double topk_fraction = 0.1;
-  /// Background comm threads for the overlapped path (>= 1): the stand-in
-  /// for multiple dedicated MLSL comm cores.
-  int comm_threads = 1;
-  /// Simulated link bandwidth in GB/s (0 = off): reductions wait out the
-  /// ring transmission time of their wire bytes, so codec savings show up
-  /// in exposed-comm wall time.
-  double wire_gbs = 0.0;
+  /// Communication-substrate configuration, passed to the Communicator
+  /// verbatim: codec, topk fraction, comm threads, wire models, topology
+  /// and reduction algorithm all live here (they used to be duplicated as
+  /// loose fields on this struct).
+  CommConfig comm;
 
-  /// Environment overrides on top of `defaults`:
+  /// Environment overrides on top of `defaults`. The trainer-level knobs:
   ///   XCONV_MN_MODE         = bulk | overlap
   ///   XCONV_MN_BUCKET_KB    = bucket cap in KiB (positive integer)
-  ///   XCONV_MN_CODEC        = fp32 | int16 | bf16 | topk
-  ///   XCONV_MN_TOPK         = top-k kept fraction, in (0, 1]
-  ///   XCONV_MN_COMM_THREADS = comm-thread pool size (positive integer)
-  ///   XCONV_MN_WIRE_GBS     = simulated link bandwidth, GB/s (>= 0; 0 off)
+  /// plus every communicator knob of CommConfig::from_env (XCONV_MN_CODEC,
+  /// _TOPK, _COMM_THREADS, _WIRE_GBS, _ALGO, _RANKS_PER_NODE, _INTRA_GBS,
+  /// _INTER_GBS, _INTRA_LAT_US, _INTER_LAT_US), which this delegates to.
+  /// Malformed values throw std::invalid_argument naming the variable.
   static MultiNodeOptions from_env(const MultiNodeOptions& defaults);
   static MultiNodeOptions from_env() { return from_env(MultiNodeOptions{}); }
 };
@@ -78,11 +71,20 @@ struct MultiNodeStats {
   /// Measured wire bytes per rank per iteration under the configured codec
   /// (from the actual encoded payload sizes; 0 on a single node).
   std::size_t wire_bytes_per_rank = 0;
+  /// Per-topology-level split of wire_bytes_per_rank (they always sum to
+  /// it): bytes on the intra-node fabric vs the inter-node links.
+  std::size_t intra_wire_bytes_per_rank = 0;
+  std::size_t inter_wire_bytes_per_rank = 0;
   /// allreduce_bytes_per_rank / wire_bytes_per_rank (1.0 for fp32 and for
   /// single-node runs, where both byte counts are zero).
   double compression_ratio = 1.0;
   const char* mode = "bulk";
   const char* codec = "fp32";
+  /// Reduction schedule ("flat" | "hierarchical") and the resolved topology
+  /// it ran over.
+  const char* algorithm = "flat";
+  int ranks_per_node = 1;
+  int topo_nodes = 1;
   int comm_threads = 1;
   /// Rank-0 wall time blocked on gradient communication, summed over the
   /// run's iterations: the full allreduce in bulk mode, only the per-bucket
@@ -91,6 +93,10 @@ struct MultiNodeStats {
   /// Rank-0 blocked wait per bucket, summed over the run (overlap mode;
   /// empty in bulk mode). Sums to exposed_comm_seconds.
   std::vector<double> bucket_wait_seconds;
+  /// Per-bucket fp32 payload bytes (overlap mode; empty in bulk mode) —
+  /// together with bucket_wait_seconds this is the measured overlap profile
+  /// ScalingConfig consumes for histogram-based projection.
+  std::vector<std::size_t> bucket_payload_bytes;
   /// Rank-0 error-feedback residual L2 norm after the run (0 for fp32).
   double residual_l2 = 0;
   std::size_t bucket_count = 0;  ///< buckets per iteration (0 in bulk mode)

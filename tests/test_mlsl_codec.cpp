@@ -587,8 +587,8 @@ TEST(MultiNodeCodec, CompressedReplicasStayBitwiseInSync) {
          {mlsl::SyncMode::kBulk, mlsl::SyncMode::kOverlap}) {
       mlsl::MultiNodeOptions mn;
       mn.mode = mode;
-      mn.codec = codec;
-      mn.comm_threads = 2;
+      mn.comm.codec = codec;
+      mn.comm.comm_threads = 2;
       mn.bucket_cap_bytes = 32 << 10;
       mlsl::MultiNodeTrainer mt(nl, 3, mini_opt(), mn);
       mt.train(3, s);
@@ -639,8 +639,8 @@ TEST(MultiNodeCodec, CompressedLossGapVsFp32Bounded) {
   std::size_t int16_wire = 0, topk01_wire = 0;
   for (const Case& c : cases) {
     mlsl::MultiNodeOptions mn = fp;
-    mn.codec = c.codec;
-    mn.topk_fraction = c.fraction;
+    mn.comm.codec = c.codec;
+    mn.comm.topk_fraction = c.fraction;
     mlsl::MultiNodeTrainer mt(nl, R, mini_opt(11), mn);
     float gap = 0;
     for (int i = 0; i < iters; ++i) {
@@ -669,7 +669,7 @@ TEST(MultiNodeCodec, SingleNodePublishesZeroBytesNotStaleOnes) {
   s.lr = 0.01f;
   for (const mlsl::Codec codec : {mlsl::Codec::kFp32, mlsl::Codec::kInt16}) {
     mlsl::MultiNodeOptions mn;
-    mn.codec = codec;
+    mn.comm.codec = codec;
     mlsl::MultiNodeTrainer mt(nl, 1, mini_opt(), mn);
     const auto st = mt.train(2, s);
     EXPECT_EQ(st.allreduce_bytes_per_rank, 0u) << mlsl::codec_name(codec);
@@ -693,8 +693,8 @@ TEST(MultiNodeCodec, StatsReportCodecWireBytesAndPerBucketWaits) {
   s.lr = 0.01f;
   mlsl::MultiNodeOptions mn;
   mn.mode = mlsl::SyncMode::kOverlap;
-  mn.codec = mlsl::Codec::kInt16;
-  mn.comm_threads = 2;
+  mn.comm.codec = mlsl::Codec::kInt16;
+  mn.comm.comm_threads = 2;
   mn.bucket_cap_bytes = 8 << 10;
   mlsl::MultiNodeTrainer mt(nl, 2, mini_opt(), mn);
   const auto st = mt.train(2, s);
@@ -721,7 +721,7 @@ TEST(MultiNodeCodec, StatsReportCodecWireBytesAndPerBucketWaits) {
 
   // fp32 reference: wire bytes equal logical bytes, no residual.
   mlsl::MultiNodeOptions fp = mn;
-  fp.codec = mlsl::Codec::kFp32;
+  fp.comm.codec = mlsl::Codec::kFp32;
   mlsl::MultiNodeTrainer ft(nl, 2, mini_opt(), fp);
   const auto fs = ft.train(1, s);
   EXPECT_STREQ(fs.codec, "fp32");
@@ -750,8 +750,8 @@ TEST(MultiNodeCodec, SimulatedWireDelayConsumesPublishedWireBytes) {
   gxm::Solver s;
   s.lr = 0.01f;
   mlsl::MultiNodeOptions mn;
-  mn.codec = mlsl::Codec::kInt16;
-  mn.wire_gbs = 0.05;  // slow wire so the delay dominates timer noise
+  mn.comm.codec = mlsl::Codec::kInt16;
+  mn.comm.wire_gbs = 0.05;  // slow wire so the delay dominates timer noise
   mlsl::MultiNodeTrainer mt(nl, 2, mini_opt(), mn);
   const auto st = mt.train(1, s);
   const double modeled =
@@ -767,7 +767,7 @@ TEST(MultiNodeCodec, SimulatedWireSlowsBulkAndChargesOverlapTails) {
   gxm::Solver s;
   s.lr = 0.01f;
   mlsl::MultiNodeOptions mn;
-  mn.wire_gbs = 0.05;  // slow wire so the delay dominates timer noise
+  mn.comm.wire_gbs = 0.05;  // slow wire so the delay dominates timer noise
   mlsl::MultiNodeTrainer mt(nl, 2, mini_opt(), mn);
   const auto st = mt.train(1, s);
   const double volume =
@@ -803,21 +803,21 @@ TEST(MultiNodeOptionsEnv, CodecAndCommThreadKnobs) {
   ::setenv("XCONV_MN_COMM_THREADS", "3", 1);
   ::setenv("XCONV_MN_WIRE_GBS", "2.5", 1);
   auto o = mlsl::MultiNodeOptions::from_env(defaults);
-  EXPECT_EQ(o.codec, mlsl::Codec::kInt16);
-  EXPECT_EQ(o.comm_threads, 3);
-  EXPECT_DOUBLE_EQ(o.wire_gbs, 2.5);
-  EXPECT_DOUBLE_EQ(o.topk_fraction, 0.1);  // default untouched
+  EXPECT_EQ(o.comm.codec, mlsl::Codec::kInt16);
+  EXPECT_EQ(o.comm.comm_threads, 3);
+  EXPECT_DOUBLE_EQ(o.comm.wire_gbs, 2.5);
+  EXPECT_DOUBLE_EQ(o.comm.topk_fraction, 0.1);  // default untouched
   ::setenv("XCONV_MN_CODEC", "bf16", 1);
-  EXPECT_EQ(mlsl::MultiNodeOptions::from_env(defaults).codec,
+  EXPECT_EQ(mlsl::MultiNodeOptions::from_env(defaults).comm.codec,
             mlsl::Codec::kBf16);
   ::setenv("XCONV_MN_CODEC", "topk", 1);
   ::setenv("XCONV_MN_TOPK", "0.25", 1);
   o = mlsl::MultiNodeOptions::from_env(defaults);
-  EXPECT_EQ(o.codec, mlsl::Codec::kTopK);
-  EXPECT_DOUBLE_EQ(o.topk_fraction, 0.25);
+  EXPECT_EQ(o.comm.codec, mlsl::Codec::kTopK);
+  EXPECT_DOUBLE_EQ(o.comm.topk_fraction, 0.25);
   ::setenv("XCONV_MN_TOPK", "1", 1);  // k == n: dense edge is legal
-  EXPECT_DOUBLE_EQ(mlsl::MultiNodeOptions::from_env(defaults).topk_fraction,
-                   1.0);
+  EXPECT_DOUBLE_EQ(
+      mlsl::MultiNodeOptions::from_env(defaults).comm.topk_fraction, 1.0);
   ::unsetenv("XCONV_MN_CODEC");
   ::unsetenv("XCONV_MN_COMM_THREADS");
   ::unsetenv("XCONV_MN_WIRE_GBS");

@@ -7,20 +7,18 @@
 //   3. projected: the paper's KNM/SKX clusters via the Omni-Path network
 //      model with allreduce overlapped into backprop — reproducing the ~90%
 //      parallel efficiency at 16 nodes and the paper's absolute numbers.
-#include <cstdlib>
-
 #include "bench_common.hpp"
 #include "gxm/trainer.hpp"
 #include "mlsl/netmodel.hpp"
 #include "mlsl/scaling.hpp"
+#include "platform/envparse.hpp"
 
 using namespace xconv;
 
 int main() {
   const int mb = platform::bench_minibatch(2);
   const int runs = platform::bench_runs(3);
-  int img = 56;
-  if (const char* v = std::getenv("XCONV_IMG")) img = std::atoi(v);
+  const int img = platform::env::positive_int_or("XCONV_IMG", 56);
   bench::print_header("Figure 9: end-to-end ResNet-50 training", mb, runs);
 
   // --- measured single node (GxM) ---

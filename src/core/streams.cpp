@@ -1,17 +1,15 @@
 #include "core/streams.hpp"
 
-#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
+#include "platform/envparse.hpp"
+
 namespace xconv::core {
 
 bool use_streams_from_env() {
-  const char* v = std::getenv("XCONV_STREAMS");
-  if (v == nullptr) return true;
-  const std::string s(v);
-  return !(s == "0" || s == "off" || s == "false");
+  return platform::env::flag_or("XCONV_STREAMS", true);
 }
 
 void KernelStream::record_call(SegmentType streak, std::uint16_t variant,

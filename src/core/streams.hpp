@@ -64,6 +64,15 @@ struct ReduceRecord {
   std::int64_t copy_stride = 0;
 };
 
+// Thread contract (phase-based, no locks): a KernelStream is owned by exactly
+// one recording thread through the record_*() calls, sealed by finish(), and
+// only then replayed — possibly by a *different* thread, or concurrently by
+// the whole OpenMP team since replay()/replay_upd() are const and touch no
+// stream state. The finish() handoff must be published by the surrounding
+// runtime (the OpenMP barrier at the end of the dryrun parallel region); the
+// class deliberately carries no mutex or atomics because the phases never
+// overlap. This invariant is exercised under TSan by the mlsl suites (replay
+// inside comm-thread callbacks) rather than expressed with lock annotations.
 class KernelStream {
  public:
   /// Dryrun recording ------------------------------------------------------

@@ -1,27 +1,73 @@
-#include "gemm/gemm_blocked_detail.hpp"
+#include "gemm/gemm.hpp"
+
+#include <cstdint>
 
 namespace xconv::gemm {
 
 // Register-blocked small GEMM: NB rows of out are kept as independent
 // accumulation chains (hiding FMA latency, paper Section II-B) while the M
-// dimension is vectorized. The templated panel kernels live in the detail
-// header so tests can instantiate individual shapes.
+// dimension is vectorized. The panel kernels live in this TU (not a header)
+// so `#pragma omp simd` never appears in an include — headers must stay
+// OpenMP-free (lint rule omp-in-header); callers may not be compiled with
+// -fopenmp.
+
+namespace {
+
+/// Accumulate NB rows of out (+= in * wt) for all M columns.
+template <int NB>
+void panel(int M, int K, const float* wt, int lda, const float* in, int ldb,
+           float* out, int ldc) {
+  constexpr int kMChunk = 16;
+  int m0 = 0;
+  for (; m0 + kMChunk <= M; m0 += kMChunk) {
+    float acc[NB][kMChunk];
+    for (int r = 0; r < NB; ++r)
+#pragma omp simd
+      for (int m = 0; m < kMChunk; ++m)
+        acc[r][m] = out[static_cast<std::int64_t>(r) * ldc + m0 + m];
+    for (int k = 0; k < K; ++k) {
+      const float* a = wt + static_cast<std::int64_t>(k) * lda + m0;
+      for (int r = 0; r < NB; ++r) {
+        const float b = in[static_cast<std::int64_t>(r) * ldb + k];
+#pragma omp simd
+        for (int m = 0; m < kMChunk; ++m) acc[r][m] += b * a[m];
+      }
+    }
+    for (int r = 0; r < NB; ++r)
+#pragma omp simd
+      for (int m = 0; m < kMChunk; ++m)
+        out[static_cast<std::int64_t>(r) * ldc + m0 + m] = acc[r][m];
+  }
+  // M remainder: plain loops (correctness path; remainder M is rare in the
+  // blocked layouts where M is a VLEN multiple).
+  for (; m0 < M; ++m0) {
+    for (int r = 0; r < NB; ++r) {
+      float acc = out[static_cast<std::int64_t>(r) * ldc + m0];
+      for (int k = 0; k < K; ++k)
+        acc += in[static_cast<std::int64_t>(r) * ldb + k] *
+               wt[static_cast<std::int64_t>(k) * lda + m0];
+      out[static_cast<std::int64_t>(r) * ldc + m0] = acc;
+    }
+  }
+}
+
+}  // namespace
 
 void gemm_blocked(int M, int N, int K, const float* wt, int lda,
                   const float* in, int ldb, float* out, int ldc) {
   int n = 0;
   for (; n + 6 <= N; n += 6)
-    detail::panel<6>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
-                     ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
+    panel<6>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
+             ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
   for (; n + 4 <= N; n += 4)
-    detail::panel<4>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
-                     ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
+    panel<4>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
+             ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
   for (; n + 2 <= N; n += 2)
-    detail::panel<2>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
-                     ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
+    panel<2>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
+             ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
   for (; n < N; ++n)
-    detail::panel<1>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
-                     ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
+    panel<1>(M, K, wt, lda, in + static_cast<std::int64_t>(n) * ldb,
+             ldb, out + static_cast<std::int64_t>(n) * ldc, ldc);
 }
 
 void gemm_blocked_b0(int M, int N, int K, const float* wt, int lda,

@@ -1,8 +1,9 @@
 #include "kernels/kernel_registry.hpp"
 
-#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+
+#include "platform/envparse.hpp"
 
 namespace xconv::kernels {
 
@@ -104,8 +105,10 @@ const char* backend_name(Backend b) {
   return "unknown";
 }
 
+// Lenient by contract (pinned in test_kernel_registry): an unrecognized
+// XCONV_BACKEND value means auto_pick, not an error.
 BackendPref backend_pref_from_env() {
-  if (const char* v = std::getenv("XCONV_BACKEND")) {
+  if (const char* v = platform::env::get("XCONV_BACKEND")) {
     if (std::strcmp(v, "jit") == 0) return BackendPref::jit;
     if (std::strcmp(v, "compiled") == 0) return BackendPref::compiled;
     if (std::strcmp(v, "scalar") == 0) return BackendPref::scalar;
@@ -118,47 +121,44 @@ KernelRegistry& KernelRegistry::instance() {
   return r;
 }
 
-namespace {
-
-// Lookup and insertion both happen under mu, but the (potentially slow) JIT
+// Lookup and insertion both happen under mu_, but the (potentially slow) JIT
 // compile runs unlocked so concurrent first-use resolution of *different*
 // descriptors is not serialized. Two threads racing on the *same* key may both
 // build; emplace keeps the first and the loser's kernel is discarded — kernels
 // are immutable and returned pointers stay valid for the process lifetime
-// because entries are never erased.
-template <class Map, class Builder>
-auto* lookup_or_build(std::mutex& mu, Map& map, const std::string& key,
-                      Builder&& build) {
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = map.find(key);
-    if (it != map.end()) return it->second.get();
-  }
-  auto built = build();  // may throw; cache stays untouched
-  std::lock_guard<std::mutex> lock(mu);
-  return map.emplace(key, std::move(built)).first->second.get();
-}
-
-}  // namespace
-
+// because entries are never erased. The two-phase locking is written out
+// inline (rather than through a helper taking the guarded map by reference)
+// so thread-safety analysis can see both critical sections.
 const ConvMicrokernel* KernelRegistry::conv(const jit::ConvKernelDesc& desc,
                                             BackendPref pref) {
   const std::string key =
       desc.key() + "#" + std::to_string(static_cast<int>(pref));
-  return lookup_or_build(mu_, conv_, key,
-                         [&] { return build_conv(desc, pref); });
+  {
+    const platform::MutexLock lock(mu_);
+    auto it = conv_.find(key);
+    if (it != conv_.end()) return it->second.get();
+  }
+  auto built = build_conv(desc, pref);  // may throw; cache stays untouched
+  const platform::MutexLock lock(mu_);
+  return conv_.emplace(key, std::move(built)).first->second.get();
 }
 
 const UpdMicrokernel* KernelRegistry::upd(const jit::UpdKernelDesc& desc,
                                           BackendPref pref) {
   const std::string key =
       desc.key() + "#" + std::to_string(static_cast<int>(pref));
-  return lookup_or_build(mu_, upd_, key,
-                         [&] { return build_upd(desc, pref); });
+  {
+    const platform::MutexLock lock(mu_);
+    auto it = upd_.find(key);
+    if (it != upd_.end()) return it->second.get();
+  }
+  auto built = build_upd(desc, pref);  // may throw; cache stays untouched
+  const platform::MutexLock lock(mu_);
+  return upd_.emplace(key, std::move(built)).first->second.get();
 }
 
 std::size_t KernelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const platform::MutexLock lock(mu_);
   return conv_.size() + upd_.size();
 }
 

@@ -10,13 +10,14 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "kernels/microkernel.hpp"
 #include "platform/cpu.hpp"
+#include "platform/sync.hpp"
+#include "platform/thread_annotations.hpp"
 
 namespace xconv::kernels {
 
@@ -47,9 +48,14 @@ class KernelRegistry {
 
  private:
   KernelRegistry() = default;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<ConvMicrokernel>> conv_;
-  std::unordered_map<std::string, std::unique_ptr<UpdMicrokernel>> upd_;
+  // Guards the cache maps only. Kernel *construction* (JIT compile) runs
+  // outside the lock — see conv()/upd() — so the returned pointers are the
+  // unguarded, immutable payloads; the maps holding them are the shared state.
+  mutable platform::Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<ConvMicrokernel>> conv_
+      XCONV_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<UpdMicrokernel>> upd_
+      XCONV_GUARDED_BY(mu_);
 };
 
 // Backend constructors (exposed for direct use in tests/ablation benches).

@@ -64,14 +64,12 @@
 // carries no bandwidths of its own, reproducing the old homogeneous wire.
 #pragma once
 
-#include <atomic>
 #include <barrier>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -79,6 +77,8 @@
 
 #include "mlsl/codec.hpp"
 #include "mlsl/netmodel.hpp"
+#include "platform/sync.hpp"
+#include "platform/thread_annotations.hpp"
 
 namespace xconv::mlsl {
 
@@ -160,7 +160,9 @@ struct CommConfig {
 /// "logical" counts codec-independent fp32 ring bytes (what an uncompressed
 /// flat ring would move — the numerator of the compression ratio); "wire"
 /// counts measured encoded payload bytes (what the simulated wire actually
-/// delays on), split by topology level.
+/// delays on), split by topology level. Snapshots are internally consistent:
+/// all five counters are published under one lock, so
+/// `intra + inter == wire` holds in every snapshot, including mid-round.
 struct CommStats {
   /// Logical fp32 ring bytes per rank of the last *bulk* allreduce.
   std::size_t bulk_logical_bytes_per_rank = 0;
@@ -203,25 +205,26 @@ class Communicator {
   /// Rank barrier (callable from within `parallel`).
   void barrier();
 
-  /// Traffic counters as one value snapshot. Atomically published (rank 0
-  /// publishes before the closing barrier of each reduction), so concurrent
-  /// readers are well-defined, though a mid-round read of the overlap
-  /// counters sees a partial round.
+  /// Traffic counters as one value snapshot, taken under the counter lock —
+  /// concurrent readers are well-defined and every snapshot satisfies
+  /// `intra + inter == wire` (a mid-round read of the overlap counters still
+  /// sees a partial round, but never a torn per-level split; see the
+  /// counters_ member note).
   CommStats stats() const;
 
   // --- deprecated shims (prefer stats()) ----------------------------------
 
   /// Deprecated shim for stats().bulk_logical_bytes_per_rank.
   std::size_t last_bytes_per_rank() const {
-    return last_bytes_.load(std::memory_order_relaxed);
+    return stats().bulk_logical_bytes_per_rank;
   }
   /// Deprecated shim for stats().overlap_logical_bytes_per_rank.
   std::size_t overlap_bytes_per_rank() const {
-    return overlap_bytes_.load(std::memory_order_relaxed);
+    return stats().overlap_logical_bytes_per_rank;
   }
   /// Deprecated shim for stats().wire_bytes_per_rank.
   std::size_t wire_bytes_per_rank() const {
-    return wire_bytes_.load(std::memory_order_relaxed);
+    return stats().wire_bytes_per_rank;
   }
 
   // --- overlapped bucketized allreduce ------------------------------------
@@ -249,7 +252,7 @@ class Communicator {
   /// Block until every bucket of the current round is reduced.
   void wait_all(int rank);
 
-  std::size_t bucket_count() const { return buckets_.size(); }
+  std::size_t bucket_count() const;
 
   // --- error-feedback state (valid while no reduction is in flight) -------
 
@@ -290,7 +293,12 @@ class Communicator {
 
   void rank_worker(int rank);
   void comm_loop(int tid);
-  void reduce_bucket(const GradBucket& bk, CommScratch& scratch);
+  /// Reduce one claimed bucket. `bufs` is a snapshot of overlap_bufs_ taken
+  /// under mu_ by the claiming comm thread — reduce_bucket itself runs
+  /// unlocked (the post -> claim handshake already ordered it after every
+  /// rank's overlap_begin/post_bucket writes).
+  void reduce_bucket(const GradBucket& bk, const std::vector<float*>& bufs,
+                     CommScratch& scratch);
   void ensure_residuals(std::size_t n);
   /// True when `a` actually changes the schedule: a hierarchical request on
   /// a single-node or one-rank-per-node topology degenerates to the flat
@@ -327,20 +335,24 @@ class Communicator {
   int nnodes_ = 1; ///< topo_.nodes
   std::unique_ptr<const PayloadCodec> codec_;  ///< per cfg_.codec (+fraction)
   std::unique_ptr<std::barrier<>> barrier_;
-  std::atomic<std::size_t> last_bytes_{0};
 
   // Persistent rank-thread pool ("rank farm"): `parallel` bumps the
   // generation and workers run the installed fn once per generation. All
-  // dispatch state is guarded by pool_mu_; the first exception of a
-  // generation wins and is rethrown by the dispatching thread.
+  // dispatch state is guarded by pool_mu_ (machine-checked via the
+  // annotations below); the first exception of a generation wins and is
+  // rethrown by the dispatching thread. rank_pool_ itself is unannotated on
+  // purpose: it is only ever mutated by the dispatching thread (spawn on
+  // first use under pool_mu_, join in the destructor where the lock must NOT
+  // be held or the workers could never observe pool_stop_).
   std::vector<std::thread> rank_pool_;
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_, pool_done_cv_;
-  const std::function<void(int)>* pool_fn_ = nullptr;
-  std::uint64_t pool_gen_ = 0;
-  int pool_remaining_ = 0;
-  bool pool_stop_ = false;
-  std::exception_ptr pool_err_;
+  platform::Mutex pool_mu_;
+  platform::CondVar pool_cv_, pool_done_cv_;
+  const std::function<void(int)>* pool_fn_ XCONV_GUARDED_BY(pool_mu_) =
+      nullptr;
+  std::uint64_t pool_gen_ XCONV_GUARDED_BY(pool_mu_) = 0;
+  int pool_remaining_ XCONV_GUARDED_BY(pool_mu_) = 0;
+  bool pool_stop_ XCONV_GUARDED_BY(pool_mu_) = false;
+  std::exception_ptr pool_err_ XCONV_GUARDED_BY(pool_mu_);
 
   // Error-feedback state (sized lazily to the flat vector; empty for exact
   // codecs, i.e. fp32). node_residual_ is sized only on hierarchical-capable
@@ -352,7 +364,10 @@ class Communicator {
   // fixed-stride chunk slots + 1 sum slot each) and the measured per-slot
   // byte counts, all written in disjoint per-rank slices between barriers.
   // The hierarchical schedule adds per-node partial-payload buffers (R
-  // fixed-stride chunk slots each) written by node leaders.
+  // fixed-stride chunk slots each) written by node leaders. Deliberately NOT
+  // lock-annotated: the synchronization here is barrier *phasing* (disjoint
+  // per-rank writes, barrier, shared reads), which the thread-safety
+  // analysis cannot express — the TSan CI lane covers this state instead.
   std::vector<std::vector<std::uint8_t>> bulk_wire_;
   std::vector<std::size_t> bulk_chunk_bytes_;  ///< [rank * R + chunk]
   std::vector<std::size_t> bulk_sum_bytes_;    ///< [owner chunk]
@@ -360,24 +375,41 @@ class Communicator {
   std::vector<std::size_t> bulk_partial_bytes_;  ///< [chunk * N + node]
   std::size_t bulk_slot_stride_ = 0;
 
-  // Overlap state. `posted_`/`done_`/`next_bucket_` are guarded by `mu_`;
-  // bucket payload data is handed off through the mutex (post -> claim ->
-  // reduce -> wait), so rank threads and comm threads never race on buffer
-  // slices, and two comm threads never claim the same bucket.
-  std::vector<GradBucket> buckets_;
-  std::vector<float*> overlap_bufs_;
-  std::vector<int> posted_;
-  std::vector<char> done_;
-  std::size_t next_bucket_ = 0;
-  bool stop_comm_ = false;
-  std::mutex mu_;
-  std::condition_variable cv_post_, cv_done_;
+  // Overlap state, guarded by `mu_` (machine-checked): bucket payload data
+  // is handed off through the mutex (post -> claim -> reduce -> wait), so
+  // rank threads and comm threads never race on buffer slices, and two comm
+  // threads never claim the same bucket. The comm threads snapshot
+  // `overlap_bufs_`/`&buckets_[b]` under the lock before reducing unlocked.
+  mutable platform::Mutex mu_;  // mutable: const readers (bucket_count) lock
+  platform::CondVar cv_post_, cv_done_;
+  std::vector<GradBucket> buckets_ XCONV_GUARDED_BY(mu_);
+  std::vector<float*> overlap_bufs_ XCONV_GUARDED_BY(mu_);
+  std::vector<int> posted_ XCONV_GUARDED_BY(mu_);
+  std::vector<char> done_ XCONV_GUARDED_BY(mu_);
+  std::size_t next_bucket_ XCONV_GUARDED_BY(mu_) = 0;
+  bool stop_comm_ XCONV_GUARDED_BY(mu_) = false;
+  // comm_pool_/comm_scratch_ are unannotated by contract: the pool vector is
+  // mutated only by set_buckets (no round in flight), and comm thread `tid`
+  // is the sole toucher of comm_scratch_[tid].
   std::vector<std::thread> comm_pool_;
   std::vector<CommScratch> comm_scratch_;  ///< per comm thread
-  std::atomic<std::size_t> overlap_bytes_{0};
-  std::atomic<std::size_t> wire_bytes_{0};
-  std::atomic<std::size_t> intra_bytes_{0};
-  std::atomic<std::size_t> inter_bytes_{0};
+
+  // Traffic counters. One lock guards all five so the per-level split can
+  // never tear: the previous implementation used independent relaxed
+  // atomics, which let a concurrent stats() reader observe
+  // intra + inter != wire between two fetch_adds of the same reduction.
+  // Relaxed ordering is fine for a monotonic counter but cannot express a
+  // multi-word invariant — that is exactly what a mutex is for, and the
+  // GUARDED_BY annotation makes the compiler enforce it.
+  struct Counters {
+    std::size_t bulk_logical = 0;    ///< last bulk round, logical fp32 bytes
+    std::size_t overlap_logical = 0; ///< current/last overlap round
+    std::size_t wire = 0;            ///< measured encoded bytes (intra+inter)
+    std::size_t intra = 0;
+    std::size_t inter = 0;
+  };
+  mutable platform::Mutex stats_mu_;
+  Counters counters_ XCONV_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace xconv::mlsl

@@ -3,49 +3,26 @@
 // values throw std::invalid_argument naming the variable and the offending
 // text, instead of each call site hand-rolling (and diverging on) strtol
 // error handling.
+//
+// The implementations live in platform/envparse.hpp (the tree-wide
+// centralized env layer the env-getenv lint rule enforces); this header keeps
+// the historical xconv::mlsl::detail spelling used across the mlsl suites.
 #pragma once
 
-#include <cerrno>
-#include <cstdlib>
-#include <stdexcept>
-#include <string>
+#include "platform/envparse.hpp"
 
 namespace xconv::mlsl::detail {
 
-/// Strictly positive integer ("4", not "0", "-1", "4x" or "").
 inline long env_positive_long(const char* name, const char* v) {
-  char* end = nullptr;
-  errno = 0;
-  const long x = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE || x <= 0)
-    throw std::invalid_argument(std::string(name) +
-                                " must be a positive integer, got '" +
-                                std::string(v) + "'");
-  return x;
+  return platform::env::positive_long(name, v);
 }
 
-/// Non-negative floating-point value (0 allowed — it usually means "off").
 inline double env_nonneg_double(const char* name, const char* v) {
-  char* end = nullptr;
-  errno = 0;
-  const double x = std::strtod(v, &end);
-  if (end == v || *end != '\0' || errno == ERANGE || !(x >= 0.0))
-    throw std::invalid_argument(std::string(name) +
-                                " must be a non-negative number, got '" +
-                                std::string(v) + "'");
-  return x;
+  return platform::env::nonneg_double(name, v);
 }
 
-/// Fraction in (0, 1].
 inline double env_fraction(const char* name, const char* v) {
-  char* end = nullptr;
-  errno = 0;
-  const double f = std::strtod(v, &end);
-  if (end == v || *end != '\0' || errno == ERANGE || !(f > 0.0) || f > 1.0)
-    throw std::invalid_argument(std::string(name) +
-                                " must be a fraction in (0, 1], got '" +
-                                std::string(v) + "'");
-  return f;
+  return platform::env::fraction(name, v);
 }
 
 }  // namespace xconv::mlsl::detail

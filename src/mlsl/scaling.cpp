@@ -15,8 +15,9 @@ const char* sync_mode_name(SyncMode m) {
 }
 
 MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
+  namespace env = platform::env;
   MultiNodeOptions o = defaults;
-  if (const char* v = std::getenv("XCONV_MN_MODE")) {
+  if (const char* v = env::get("XCONV_MN_MODE")) {
     const std::string s(v);
     if (s == "overlap")
       o.mode = SyncMode::kOverlap;
@@ -25,10 +26,10 @@ MultiNodeOptions MultiNodeOptions::from_env(const MultiNodeOptions& defaults) {
     else
       throw std::invalid_argument("XCONV_MN_MODE must be 'bulk' or 'overlap'");
   }
-  if (const char* v = std::getenv("XCONV_MN_BUCKET_KB"))
-    o.bucket_cap_bytes = static_cast<std::size_t>(detail::env_positive_long(
-                             "XCONV_MN_BUCKET_KB", v)) *
-                         1024;
+  if (const char* v = env::get("XCONV_MN_BUCKET_KB"))
+    o.bucket_cap_bytes =
+        static_cast<std::size_t>(env::positive_long("XCONV_MN_BUCKET_KB", v)) *
+        1024;
   // Every communicator-level knob (codec, topology, algorithm, wire models,
   // comm threads) parses in one place.
   o.comm = CommConfig::from_env(o.comm);

@@ -1,9 +1,10 @@
 #include "platform/cpu.hpp"
 
 #include <array>
-#include <cstdlib>
 #include <cstring>
 #include <mutex>
+
+#include "platform/envparse.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <cpuid.h>
@@ -105,7 +106,7 @@ Isa isa_clamped(const char* request, Isa ceiling) {
 }
 
 Isa effective_isa() {
-  return isa_clamped(std::getenv("XCONV_ISA"), max_isa());
+  return isa_clamped(env::get("XCONV_ISA"), max_isa());
 }
 
 int vlen_fp32(Isa isa) {

@@ -1,0 +1,83 @@
+// Annotated synchronization primitives for Clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard / std::unique_lock carry no
+// capability attributes, so state they guard is invisible to
+// `-Werror=thread-safety`. These thin wrappers restore the analysis:
+// `Mutex` is a capability, `MutexLock` / `UniqueLock` are scoped
+// capabilities, and `CondVar` (std::condition_variable_any) waits on a
+// `UniqueLock` directly. Zero-overhead beyond the underlying std types —
+// the annotations compile away entirely on GCC.
+//
+// CondVar caveat: the analysis does not look inside wait(), so it treats the
+// lock as held across the call (which matches the logical contract: the
+// predicate is only ever inspected with the lock held). Write waits as
+// explicit `while (!pred) cv.wait(lk);` loops in the annotated function body
+// rather than with a predicate lambda — lambdas are analyzed as separate
+// unannotated functions and would warn on guarded-member access.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "platform/thread_annotations.hpp"
+
+namespace xconv::platform {
+
+class XCONV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() XCONV_ACQUIRE() { mu_.lock(); }
+  void unlock() XCONV_RELEASE() { mu_.unlock(); }
+  bool try_lock() XCONV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock held for the full scope (std::lock_guard equivalent).
+class XCONV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XCONV_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() XCONV_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock with manual unlock()/lock() cycling, as condition-variable wait
+/// loops need (std::unique_lock equivalent; meets BasicLockable so CondVar
+/// can wait on it).
+class XCONV_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) XCONV_ACQUIRE(mu) : mu_(mu), owns_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() XCONV_RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() XCONV_ACQUIRE() {
+    mu_.lock();
+    owns_ = true;
+  }
+  void unlock() XCONV_RELEASE() {
+    owns_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool owns_;
+};
+
+/// condition_variable_any: waits on UniqueLock (or any BasicLockable).
+using CondVar = std::condition_variable_any;
+
+}  // namespace xconv::platform

@@ -1,0 +1,59 @@
+// Clang thread-safety-analysis annotation macros (no-ops on GCC/MSVC).
+//
+// The analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) turns
+// the locking discipline documented in comments into a compile-time check:
+// a member declared XCONV_GUARDED_BY(mu_) may only be touched while mu_ is
+// held, and `-Werror=thread-safety` (the dedicated CI lane, see README
+// "Correctness tooling") makes violations build breaks instead of review
+// comments. The analysis only understands annotated capability types, so the
+// annotated wrappers in platform/sync.hpp must be used instead of raw
+// std::mutex for any state these macros protect (libstdc++'s std::mutex
+// carries no capability attributes).
+//
+// Macro names follow the canonical Clang documentation set, prefixed XCONV_.
+#pragma once
+
+#if defined(__clang__) && !defined(XCONV_NO_THREAD_SAFETY_ANALYSIS_MACROS)
+#define XCONV_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XCONV_THREAD_ANNOTATION_(x)  // no-op on compilers without the analysis
+#endif
+
+/// Declares a type to be a capability (a lock-like object).
+#define XCONV_CAPABILITY(x) XCONV_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define XCONV_SCOPED_CAPABILITY XCONV_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while the given capability is held.
+#define XCONV_GUARDED_BY(x) XCONV_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define XCONV_PT_GUARDED_BY(x) XCONV_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define XCONV_REQUIRES(...) \
+  XCONV_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define XCONV_EXCLUDES(...) XCONV_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (held on return).
+#define XCONV_ACQUIRE(...) \
+  XCONV_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, released on return).
+#define XCONV_RELEASE(...) \
+  XCONV_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; returns `ret` on success.
+#define XCONV_TRY_ACQUIRE(ret, ...) \
+  XCONV_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define XCONV_RETURN_CAPABILITY(x) XCONV_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct for reasons the analysis
+/// cannot express (use sparingly; every use needs a justifying comment).
+#define XCONV_NO_THREAD_SAFETY_ANALYSIS \
+  XCONV_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
+
+#include "platform/envparse.hpp"
 
 namespace xconv::platform {
 
@@ -29,17 +30,13 @@ BenchStats time_runs(const std::function<void()>& fn, int runs, int warmup) {
   return s;
 }
 
-namespace {
-int env_int(const char* name, int fallback) {
-  if (const char* v = std::getenv(name)) {
-    const int x = std::atoi(v);
-    if (x > 0) return x;
-  }
-  return fallback;
+// Lenient by contract (pinned in test_platform EnvKnobs): a malformed or
+// non-positive bench knob falls back instead of aborting a bench run.
+int bench_runs(int fallback) {
+  return env::positive_int_or("XCONV_BENCH_RUNS", fallback);
 }
-}  // namespace
-
-int bench_runs(int fallback) { return env_int("XCONV_BENCH_RUNS", fallback); }
-int bench_minibatch(int fallback) { return env_int("XCONV_MB", fallback); }
+int bench_minibatch(int fallback) {
+  return env::positive_int_or("XCONV_MB", fallback);
+}
 
 }  // namespace xconv::platform

@@ -1,0 +1,193 @@
+// Concurrency stress for the overlapped bucket API: interleaved trainer
+// threads hammer overlap_begin/post_bucket/wait_bucket/wait_all at fuzzed
+// bucket partitions while concurrently reading CommStats, across comm-thread
+// pool sizes and reduction schedules. The assertions are the two contracts
+// the locking protects:
+//   1. bit-exactness — every round's result equals the canonical rank-order
+//      serial sum regardless of post order, pool size, or schedule, and
+//   2. the counter invariant — every CommStats snapshot, including ones
+//      taken mid-reduction from racing trainer threads, satisfies
+//      intra + inter == wire (the multi-word invariant stats_mu_ encodes).
+// Run under TSan (XCONV_SANITIZE=thread) this doubles as the race detector
+// for the rank farm, the comm pool, and the counter block.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "mlsl/allreduce.hpp"
+#include "test_helpers.hpp"
+
+using namespace xconv;
+using xconv::testing::random_vec;
+
+namespace {
+
+std::vector<float> canonical_sum(const std::vector<std::vector<float>>& data) {
+  std::vector<float> want(data[0].size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    float acc = data[0][i];
+    for (std::size_t r = 1; r < data.size(); ++r) acc += data[r][i];
+    want[i] = acc;
+  }
+  return want;
+}
+
+/// Cut [0, n) into 1..max_buckets contiguous buckets at random boundaries.
+std::vector<mlsl::GradBucket> fuzzed_partition(std::size_t n, int max_buckets,
+                                               std::mt19937& rng) {
+  const int k = std::uniform_int_distribution<int>(1, max_buckets)(rng);
+  std::vector<std::size_t> cuts = {0, n};
+  std::uniform_int_distribution<std::size_t> pos(1, n - 1);
+  for (int i = 1; i < k; ++i) cuts.push_back(pos(rng));
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  std::vector<mlsl::GradBucket> out;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    mlsl::GradBucket b;
+    b.segments.push_back({cuts[i], cuts[i + 1] - cuts[i]});
+    b.elems = cuts[i + 1] - cuts[i];
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+void expect_counters_consistent(const mlsl::CommStats& st) {
+  EXPECT_EQ(st.intra_wire_bytes_per_rank + st.inter_wire_bytes_per_rank,
+            st.wire_bytes_per_rank);
+}
+
+/// One fuzzed overlap round on `comm`. Ranks post in index order — the API
+/// contract: the comm pool claims buckets strictly in index order, so
+/// posting out of order and then waiting deadlocks by design — but each
+/// rank advances at its own random pace, waits on random already-posted
+/// buckets mid-round, and hammers stats() in between. Deadlock-freedom of
+/// the randomized waits: a rank only ever blocks on a bucket index <= its
+/// own posting progress, so the minimal blocked-on index has been posted by
+/// every blocked rank, and every still-running rank posts it before it can
+/// block on anything later.
+void stress_round(mlsl::Communicator& comm,
+                  std::vector<std::vector<float>>& data, unsigned seed) {
+  const std::size_t nb = comm.bucket_count();
+  comm.parallel([&](int rank) {
+    std::mt19937 rng(seed * 131u + static_cast<unsigned>(rank));
+    std::uniform_int_distribution<int> coin(0, 3);
+    comm.overlap_begin(rank, data[rank].data());
+    for (std::size_t i = 0; i < nb; ++i) {
+      comm.post_bucket(rank, i);
+      if (coin(rng) == 0) expect_counters_consistent(comm.stats());
+      if (coin(rng) == 0) {
+        const std::size_t j =
+            std::uniform_int_distribution<std::size_t>(0, i)(rng);
+        comm.wait_bucket(rank, j);
+      }
+    }
+    expect_counters_consistent(comm.stats());
+    comm.wait_all(rank);
+  });
+}
+
+}  // namespace
+
+TEST(MlslConcurrencyStress, InterleavedPostersStayBitwiseExact) {
+  const int R = 4;
+  const std::size_t n = 4096;
+  mlsl::CommConfig cfg;
+  cfg.comm_threads = 2;
+  mlsl::Communicator comm(R, cfg);
+  std::mt19937 rng(20260808);
+  for (unsigned round = 0; round < 12; ++round) {
+    comm.set_buckets(fuzzed_partition(n, 12, rng));
+    std::vector<std::vector<float>> data(R);
+    for (int r = 0; r < R; ++r)
+      data[r] = random_vec(n, 100 * round + static_cast<unsigned>(r));
+    const auto want = canonical_sum(data);
+    stress_round(comm, data, round);
+    for (int r = 0; r < R; ++r)
+      ASSERT_EQ(0,
+                std::memcmp(want.data(), data[r].data(), n * sizeof(float)))
+          << "round " << round << " rank " << r;
+    expect_counters_consistent(comm.stats());
+  }
+}
+
+TEST(MlslConcurrencyStress, HierarchicalFarmUnderInterleavedPosting) {
+  // Same stress over the two-level schedule on an 8-rank 2x4 machine: the
+  // rank farm, hierarchical gather/scatter, and the comm pool all interleave.
+  const int R = 8;
+  const std::size_t n = 2048;
+  mlsl::CommConfig cfg;
+  cfg.comm_threads = 2;
+  cfg.algorithm = mlsl::ReduceAlgorithm::kHierarchical;
+  cfg.topo.ranks_per_node = 4;
+  mlsl::Communicator comm(R, cfg);
+  std::mt19937 rng(77);
+  for (unsigned round = 0; round < 6; ++round) {
+    comm.set_buckets(fuzzed_partition(n, 8, rng));
+    std::vector<std::vector<float>> data(R);
+    for (int r = 0; r < R; ++r)
+      data[r] = random_vec(n, 900 + 50 * round + static_cast<unsigned>(r));
+    const auto want = canonical_sum(data);
+    stress_round(comm, data, 1000 + round);
+    for (int r = 0; r < R; ++r)
+      ASSERT_EQ(0,
+                std::memcmp(want.data(), data[r].data(), n * sizeof(float)))
+          << "round " << round << " rank " << r;
+  }
+}
+
+TEST(MlslConcurrencyStress, CompressedCodecRoundsComplete) {
+  // int16 + error feedback is not bitwise-comparable to the serial sum; the
+  // contract under stress is completion, replica agreement (every rank sees
+  // the identical reduced bytes), and counter consistency.
+  const int R = 4;
+  const std::size_t n = 1536;
+  mlsl::CommConfig cfg;
+  cfg.comm_threads = 2;
+  cfg.codec = mlsl::Codec::kInt16;
+  mlsl::Communicator comm(R, cfg);
+  std::mt19937 rng(5150);
+  for (unsigned round = 0; round < 6; ++round) {
+    comm.set_buckets(fuzzed_partition(n, 6, rng));
+    std::vector<std::vector<float>> data(R);
+    for (int r = 0; r < R; ++r)
+      data[r] = random_vec(n, 40 * round + static_cast<unsigned>(r));
+    stress_round(comm, data, 2000 + round);
+    for (int r = 1; r < R; ++r)
+      ASSERT_EQ(0,
+                std::memcmp(data[0].data(), data[r].data(), n * sizeof(float)))
+          << "round " << round << " rank " << r;
+    const auto st = comm.stats();
+    expect_counters_consistent(st);
+    EXPECT_LT(st.wire_bytes_per_rank, st.overlap_logical_bytes_per_rank);
+  }
+}
+
+TEST(MlslConcurrencyStress, BulkAllreduceWithConcurrentStatsReaders) {
+  // The bulk barrier-phased path with every rank polling stats() between
+  // rounds: snapshots race the rank-0 counter publication and must never
+  // tear (intra + inter == wire in every observation).
+  const int R = 6;
+  const std::size_t n = 3000;
+  mlsl::Communicator comm(R);
+  std::vector<std::vector<float>> data(R);
+  std::vector<float*> bufs(R);
+  for (unsigned round = 0; round < 8; ++round) {
+    for (int r = 0; r < R; ++r) {
+      data[r] = random_vec(n, 7 * round + static_cast<unsigned>(r));
+      bufs[r] = data[r].data();
+    }
+    const auto want = canonical_sum(data);
+    comm.parallel([&](int rank) {
+      comm.allreduce_sum(rank, bufs, n);
+      expect_counters_consistent(comm.stats());
+    });
+    for (int r = 0; r < R; ++r)
+      ASSERT_EQ(0,
+                std::memcmp(want.data(), data[r].data(), n * sizeof(float)))
+          << "round " << round << " rank " << r;
+  }
+}

@@ -1,0 +1,366 @@
+#!/usr/bin/env python3
+"""xconv invariant linter.
+
+Enforces repo-wide invariants that the compiler cannot see and that code
+review keeps re-litigating. Each rule is a small, line-anchored static check;
+violations print as ``path:line: [rule] message`` and make the process exit
+nonzero, so the script works as a CI gate and a pre-commit hook alike.
+
+Rules
+-----
+env-getenv
+    All ``XCONV_*`` environment reads must go through the validated helpers
+    in ``src/platform/envparse.hpp`` (strict throwing parsers or the lenient
+    ``*_or`` fallbacks). A raw ``getenv`` call anywhere else skips validation
+    and scatters parsing policy across the tree.
+thread-outside-allreduce
+    ``std::thread`` may only be constructed in ``src/mlsl/allreduce.cpp``
+    (the rank farm and the comm-thread pool). Library code spawning its own
+    threads invisibly breaks the communicator's threading contract and the
+    TSan suppression inventory. ``std::thread::hardware_concurrency()`` is
+    fine anywhere (static member access, no thread is created).
+omp-in-header
+    No ``#pragma omp`` in headers. A header compiles into every includer,
+    with or without -fopenmp, so OpenMP pragmas in headers silently change
+    semantics per-TU. Keep them in .cpp files.
+test-registration
+    Every ``tests/test_*.cpp`` must be registered with CTest (explicitly or
+    via a ``file(GLOB test_*.cpp)`` + ``add_test`` loop) and CI must run
+    ``ctest``. A test file that never runs is worse than no test.
+bench-schema
+    The set of JSON fields each bench emitter writes is locked in
+    ``tools/lint/bench_schema.json`` together with its ``schema_version``.
+    Changing emitted fields without bumping the version breaks every
+    downstream trajectory diff; this rule forces the bump (and a lockfile
+    regeneration via ``--update-bench-lock``) to land in the same commit.
+
+Usage
+-----
+    python3 tools/lint/xconv_lint.py [--repo PATH] [--update-bench-lock]
+
+Self-tests live in ``tools/lint/test_xconv_lint.py`` (plain unittest, known
+-bad fixtures per rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SOURCE_EXTS = (".cpp", ".cc", ".hpp", ".h")
+SOURCE_DIRS = ("src", "bench", "examples", "tests")
+
+# Files exempt from env-getenv: the one sanctioned wrapper around getenv.
+ENV_WRAPPER = "src/platform/envparse.hpp"
+
+# Files allowed to mention std::thread as a type: the communicator owns every
+# thread in the library (rank farm + comm pool); the header holds the pool
+# member declarations for the .cpp.
+THREAD_ALLOWED = ("src/mlsl/allreduce.cpp", "src/mlsl/allreduce.hpp")
+# thread-outside-allreduce scopes to library code: tests and benches may spawn
+# driver threads (e.g. the concurrency stress test's fake trainers).
+THREAD_SCOPED_DIRS = ("src",)
+
+BENCH_LOCK = "tools/lint/bench_schema.json"
+
+GETENV_RE = re.compile(r"\bgetenv\s*\(")
+# std::thread not followed by :: (static member access creates no thread).
+THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
+OMP_RE = re.compile(r"#\s*pragma\s+omp\b")
+# A JSON key literal inside an fprintf format string: \"key\":
+JSON_KEY_RE = re.compile(r'\\"([A-Za-z_][A-Za-z_0-9]*)\\":')
+SCHEMA_VERSION_RE = re.compile(r'\\"schema_version\\":\s*(\d+)')
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line structure and string
+    literals. Good enough for line-anchored pattern rules; not a C++ lexer."""
+    out = []
+    i, n = 0, len(text)
+    in_line = in_block = in_str = in_chr = False
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if in_line:
+            if c == "\n":
+                in_line = False
+                out.append(c)
+            else:
+                out.append(" ")
+        elif in_block:
+            if c == "*" and nxt == "/":
+                in_block = False
+                out.append("  ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+        elif in_str:
+            out.append(c)
+            if c == "\\" and nxt:
+                out.append(nxt)
+                i += 1
+            elif c == '"':
+                in_str = False
+        elif in_chr:
+            out.append(c)
+            if c == "\\" and nxt:
+                out.append(nxt)
+                i += 1
+            elif c == "'":
+                in_chr = False
+        elif c == "/" and nxt == "/":
+            in_line = True
+            out.append("  ")
+            i += 1
+        elif c == "/" and nxt == "*":
+            in_block = True
+            out.append("  ")
+            i += 1
+        elif c == '"':
+            in_str = True
+            out.append(c)
+        elif c == "'":
+            in_chr = True
+            out.append(c)
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_sources(repo: Path, dirs=SOURCE_DIRS):
+    for d in dirs:
+        root = repo / d
+        if not root.is_dir():
+            continue
+        for p in sorted(root.rglob("*")):
+            if p.suffix in SOURCE_EXTS and p.is_file():
+                yield p
+
+
+def rel(repo: Path, p: Path) -> str:
+    return p.relative_to(repo).as_posix()
+
+
+# --- rule: env-getenv -------------------------------------------------------
+
+def check_env_getenv(repo: Path) -> list:
+    out = []
+    for p in iter_sources(repo):
+        r = rel(repo, p)
+        if r == ENV_WRAPPER:
+            continue
+        code = strip_comments(p.read_text(encoding="utf-8", errors="replace"))
+        for ln, line in enumerate(code.splitlines(), 1):
+            if GETENV_RE.search(line):
+                out.append(Violation(
+                    r, ln, "env-getenv",
+                    "raw getenv(); route env reads through "
+                    "platform/envparse.hpp helpers"))
+    return out
+
+
+# --- rule: thread-outside-allreduce ----------------------------------------
+
+def check_thread_outside_allreduce(repo: Path) -> list:
+    out = []
+    for p in iter_sources(repo, THREAD_SCOPED_DIRS):
+        r = rel(repo, p)
+        if r in THREAD_ALLOWED:
+            continue
+        code = strip_comments(p.read_text(encoding="utf-8", errors="replace"))
+        for ln, line in enumerate(code.splitlines(), 1):
+            if THREAD_RE.search(line):
+                out.append(Violation(
+                    r, ln, "thread-outside-allreduce",
+                    "std::thread outside src/mlsl/allreduce.cpp; the "
+                    "communicator owns all library threads"))
+    return out
+
+
+# --- rule: omp-in-header ----------------------------------------------------
+
+def check_omp_in_header(repo: Path) -> list:
+    out = []
+    for p in iter_sources(repo):
+        if p.suffix not in (".hpp", ".h"):
+            continue
+        r = rel(repo, p)
+        code = strip_comments(p.read_text(encoding="utf-8", errors="replace"))
+        for ln, line in enumerate(code.splitlines(), 1):
+            if OMP_RE.search(line):
+                out.append(Violation(
+                    r, ln, "omp-in-header",
+                    "#pragma omp in a header; move the OpenMP construct "
+                    "into a .cpp"))
+    return out
+
+
+# --- rule: test-registration ------------------------------------------------
+
+def check_test_registration(repo: Path) -> list:
+    out = []
+    tests_dir = repo / "tests"
+    cml = tests_dir / "CMakeLists.txt"
+    tests = sorted(tests_dir.glob("test_*.cpp")) if tests_dir.is_dir() else []
+    if not tests:
+        return out
+    if not cml.is_file():
+        return [Violation("tests", 1, "test-registration",
+                          "tests exist but tests/CMakeLists.txt is missing")]
+    cml_text = cml.read_text(encoding="utf-8", errors="replace")
+    glob_covers = (re.search(r"file\s*\(\s*GLOB[^)]*test_\*\.cpp", cml_text)
+                   is not None)
+    has_add_test = re.search(r"\badd_test\s*\(", cml_text) is not None
+    if not has_add_test:
+        out.append(Violation("tests/CMakeLists.txt", 1, "test-registration",
+                             "no add_test(); test binaries never run under "
+                             "ctest"))
+    if not glob_covers:
+        for t in tests:
+            if t.name not in cml_text:
+                out.append(Violation(
+                    rel(repo, t), 1, "test-registration",
+                    f"{t.name} not registered in tests/CMakeLists.txt "
+                    "(no GLOB test_*.cpp and no explicit mention)"))
+    ci = repo / ".github" / "workflows" / "ci.yml"
+    if not ci.is_file() or "ctest" not in ci.read_text(encoding="utf-8",
+                                                       errors="replace"):
+        out.append(Violation(".github/workflows/ci.yml", 1,
+                             "test-registration",
+                             "CI workflow never invokes ctest"))
+    return out
+
+
+# --- rule: bench-schema -----------------------------------------------------
+
+def scan_bench_emitters(repo: Path) -> dict:
+    """Map emitter file -> {"schema_version": int, "fields": sorted list}.
+    An emitter is any bench/ source that writes a schema_version literal."""
+    emitters = {}
+    bench = repo / "bench"
+    if not bench.is_dir():
+        return emitters
+    for p in sorted(bench.rglob("*")):
+        if p.suffix not in SOURCE_EXTS or not p.is_file():
+            continue
+        text = p.read_text(encoding="utf-8", errors="replace")
+        m = SCHEMA_VERSION_RE.search(text)
+        if m is None:
+            continue
+        fields = sorted(set(JSON_KEY_RE.findall(text)))
+        emitters[rel(repo, p)] = {
+            "schema_version": int(m.group(1)),
+            "fields": fields,
+        }
+    return emitters
+
+
+def check_bench_schema(repo: Path) -> list:
+    out = []
+    lock_path = repo / BENCH_LOCK
+    emitters = scan_bench_emitters(repo)
+    if not lock_path.is_file():
+        # No lockfile is fine only while there is nothing to lock.
+        if emitters:
+            out.append(Violation(BENCH_LOCK, 1, "bench-schema",
+                                 "lockfile missing; run xconv_lint.py "
+                                 "--update-bench-lock and commit it"))
+        return out
+    lock = json.loads(lock_path.read_text(encoding="utf-8"))
+    for f, cur in sorted(emitters.items()):
+        locked = lock.get(f)
+        if locked is None:
+            out.append(Violation(f, 1, "bench-schema",
+                                 "new bench emitter not in lockfile; run "
+                                 "--update-bench-lock"))
+            continue
+        same_fields = locked.get("fields") == cur["fields"]
+        same_version = locked.get("schema_version") == cur["schema_version"]
+        if same_fields and same_version:
+            continue
+        if not same_fields and same_version:
+            added = sorted(set(cur["fields"]) - set(locked.get("fields", [])))
+            removed = sorted(set(locked.get("fields", [])) -
+                             set(cur["fields"]))
+            out.append(Violation(
+                f, 1, "bench-schema",
+                "emitted JSON fields changed (added: %s; removed: %s) but "
+                "schema_version is still %d; bump it and run "
+                "--update-bench-lock" % (added or "-", removed or "-",
+                                         cur["schema_version"])))
+        else:
+            out.append(Violation(
+                f, 1, "bench-schema",
+                "schema_version %s does not match lockfile (%s); run "
+                "--update-bench-lock to re-lock" %
+                (cur["schema_version"], locked.get("schema_version"))))
+    for f in sorted(set(lock) - set(emitters)):
+        out.append(Violation(f, 1, "bench-schema",
+                             "locked emitter no longer exists; run "
+                             "--update-bench-lock"))
+    return out
+
+
+def update_bench_lock(repo: Path) -> None:
+    lock_path = repo / BENCH_LOCK
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    emitters = scan_bench_emitters(repo)
+    lock_path.write_text(json.dumps(emitters, indent=2, sort_keys=True) +
+                         "\n", encoding="utf-8")
+    print(f"wrote {rel(repo, lock_path)} ({len(emitters)} emitters)")
+
+
+RULES = (
+    check_env_getenv,
+    check_thread_outside_allreduce,
+    check_omp_in_header,
+    check_test_registration,
+    check_bench_schema,
+)
+
+
+def run(repo: Path) -> list:
+    out = []
+    for rule in RULES:
+        out.extend(rule(repo))
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=None,
+                    help="repo root (default: two levels up from this file)")
+    ap.add_argument("--update-bench-lock", action="store_true",
+                    help="regenerate tools/lint/bench_schema.json and exit")
+    args = ap.parse_args(argv)
+    repo = Path(args.repo) if args.repo else Path(__file__).resolve().parents[2]
+    if args.update_bench_lock:
+        update_bench_lock(repo)
+        return 0
+    violations = run(repo)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"xconv_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("xconv_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

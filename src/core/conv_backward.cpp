@@ -27,19 +27,6 @@
 namespace xconv::core {
 
 namespace {
-int pick_rb_bwd(int dim, int cap) {
-  if (dim <= cap) return dim;
-  int best = std::min(dim, cap), best_score = -1;
-  for (int rb = std::min(dim, cap); rb >= 4; --rb) {
-    const int score = (dim % rb == 0 ? 1000 : 0) + rb;
-    if (score > best_score) {
-      best_score = score;
-      best = rb;
-    }
-  }
-  return best;
-}
-
 // Mirror of forward's check_geometry (conv_forward.cpp): a wrong-shape
 // tensor must fail loudly instead of silently corrupting memory.
 void check_bwd_geometry(const core::ConvLayer& l,
@@ -85,8 +72,11 @@ void ConvLayer::setup_backward() {
                            opt_.backend != kernels::BackendPref::scalar &&
                            opt_.backend != kernels::BackendPref::compiled;
 
-  if (p.stride_h == 1 && p.stride_w == 1) {
-    bwd_algo_ = BwdAlgo::duality_stride1;
+  // The algorithm choice (shape-forced, Section II-I) and its blocking
+  // extents come from the resolved plan.
+  bwd_algo_ = plan_.bwd_algo;
+
+  if (bwd_algo_ == BwdAlgo::duality_stride1) {
     ConvParams dual;
     dual.N = p.N;
     dual.C = p.K;
@@ -103,7 +93,12 @@ void ConvLayer::setup_backward() {
           "ConvLayer: pad > R-1 unsupported by the duality transform");
     ConvOptions dopt = opt_;
     dopt.fuse = FusedOp::none;
-    dopt.rbp = dopt.rbq = 0;  // re-derive blocking for the dual shape
+    // Re-plan for the dual shape: the parent's explicit plan / ablation
+    // overrides describe *this* layer's geometry, not the dual's.
+    dopt.plan.reset();
+    dopt.rbp = dopt.rbq = 0;
+    dopt.upd_bp = dopt.upd_bq = 0;
+    dopt.upd_strategy = UpdStrategy::auto_pick;
     dopt.threads = threads_;
     dopt.fwd_only = true;
     // The dual layer's input is this layer's output tensor and its output is
@@ -116,13 +111,9 @@ void ConvLayer::setup_backward() {
     return;
   }
 
-  if (p.R == 1 && p.S == 1 && p.pad_h == 0 && p.pad_w == 0) {
-    bwd_algo_ = BwdAlgo::duality_1x1_strided;
+  if (bwd_algo_ == BwdAlgo::duality_1x1_strided) {
     auto& reg = kernels::KernelRegistry::instance();
-    bwd1x1_rbq_ = pick_rb_bwd(p.Q(), jit::ConvKernelDesc::max_accumulators(
-                                         opt_.isa == platform::Isa::scalar
-                                             ? platform::Isa::avx512
-                                             : opt_.isa));
+    bwd1x1_rbq_ = plan_.bwd1x1_rbq;
     bwd1x1_qfull_ = p.Q() / bwd1x1_rbq_;
     bwd1x1_qrem_ = p.Q() % bwd1x1_rbq_;
     bwd1x1_variants_.clear();
@@ -152,10 +143,8 @@ void ConvLayer::setup_backward() {
     return;
   }
 
-  bwd_algo_ = BwdAlgo::gemm_fallback;
   bwd_gemm_ = std::make_shared<BwdGemmPlan>();
-  const int max_n = 28;
-  bwd_gemm_->qc = pick_rb_bwd(p.Q(), max_n);
+  bwd_gemm_->qc = plan_.bwd_gemm_qc;
   bwd_gemm_->q_rem = p.Q() % bwd_gemm_->qc;
   bwd_gemm_->ldc = p.stride_w * vlen_;
   if (jit_capable && vlen_ == platform::vlen_fp32(opt_.isa)) {

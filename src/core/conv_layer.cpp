@@ -8,36 +8,37 @@
 
 namespace xconv::core {
 
-namespace {
-
-// Pick a register-blocking extent for a spatial dimension of size `dim`:
-// prefer exact divisors (no edge kernel), then large extents, within
-// [4, cap]. Falls back to min(dim, cap).
-int pick_rb(int dim, int cap) {
-  if (dim <= cap) return dim;
-  int best = std::min(dim, cap);
-  int best_score = -1;
-  for (int rb = std::min(dim, cap); rb >= 4; --rb) {
-    const int score = (dim % rb == 0 ? 1000 : 0) + rb;
-    if (score > best_score) {
-      best_score = score;
-      best = rb;
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
 ConvLayer::ConvLayer(const ConvParams& params, const ConvOptions& opt)
     : params_(params), opt_(opt) {
   params_.validate();
-  vlen_ = platform::vlen_fp32(opt_.isa);
-  if (vlen_ == 1) vlen_ = 16;  // scalar backend keeps the blocked layout
-  cb_ = tensor::ceil_div(params_.C, vlen_);
-  kb_ = tensor::ceil_div(params_.K, vlen_);
   threads_ = opt_.threads > 0 ? opt_.threads : omp_get_max_threads();
   if (threads_ < 1) threads_ = 1;
+
+  // Resolve every planning decision up front (core/plan.hpp): explicit
+  // plan > ablation overrides > PlanCache (disk/autotune/default).
+  PlanRequest req;
+  req.isa = opt_.isa;
+  req.backend = opt_.backend;
+  req.use_streams = opt_.use_streams;
+  req.prefetch = opt_.prefetch;
+  req.threads = threads_;
+  req.fwd_only = opt_.fwd_only;
+  req.rbp = opt_.rbp;
+  req.rbq = opt_.rbq;
+  req.upd_bp = opt_.upd_bp;
+  req.upd_bq = opt_.upd_bq;
+  req.upd_strategy = opt_.upd_strategy;
+  plan_ = resolve_plan(params_, req, opt_.plan);
+  // The plan is authoritative for execution context from here on (an
+  // explicit plan may pin backend/stream mode; cache hits inherit ours).
+  opt_.isa = plan_.isa;
+  opt_.backend = plan_.backend;
+  opt_.use_streams = plan_.use_streams;
+  opt_.prefetch = plan_.prefetch;
+
+  vlen_ = plan_.vlen;
+  cb_ = tensor::ceil_div(params_.C, vlen_);
+  kb_ = tensor::ceil_div(params_.K, vlen_);
 
   choose_blocking();
   build_fwd_variants();
@@ -56,31 +57,18 @@ ConvLayer::ConvLayer(const ConvParams& params, const ConvOptions& opt)
 void ConvLayer::choose_blocking() {
   const ConvParams& p = params_;
   const int P = p.P(), Q = p.Q();
-  const int max_acc = jit::ConvKernelDesc::max_accumulators(
-      opt_.isa == platform::Isa::scalar ? platform::Isa::avx512 : opt_.isa);
 
-  // Register blocking (Section II-B): RBQ along the fast output dimension;
-  // RBP > 1 only when Q alone cannot fill enough independent FMA chains.
-  rbq_ = opt_.rbq > 0 ? opt_.rbq : pick_rb(Q, std::min(max_acc, 14));
-  if (opt_.rbp > 0) {
-    rbp_ = opt_.rbp;
-  } else if (Q <= max_acc / 2 && rbq_ == Q) {
-    rbp_ = std::min(P, max_acc / rbq_);
-  } else {
-    rbp_ = 1;
-  }
-  if (rbp_ * rbq_ > max_acc)
-    throw std::invalid_argument("ConvLayer: register blocking override " +
-                                std::to_string(rbp_) + "x" +
-                                std::to_string(rbq_) + " exceeds budget");
+  // Register blocking (Section II-B) comes straight from the plan; the
+  // derivation (and budget validation) happened in plan_default()/validate().
+  rbq_ = plan_.rbq;
+  rbp_ = plan_.rbp;
   q_full_ = Q / rbq_;
   q_rem_ = Q % rbq_;
   p_full_ = P / rbp_;
   p_rem_ = P % rbp_;
 
-  // 1x1 layers: pull the Cb loop into the kernel (Section II-C) so output
-  // registers are reused Cb times. Only profitable with more than one block.
-  cb_in_kernel_ = (p.R == 1 && p.S == 1 && cb_ > 1);
+  // 1x1 Cb-loop-in-kernel transformation (Section II-C).
+  cb_in_kernel_ = plan_.cb_in_kernel;
 
   // Physical halos: defaults are the minimum each side needs (input: the
   // zero padding; output: what backward-as-forward reads, Section II-I).
@@ -255,7 +243,8 @@ std::string ConvLayer::describe() const {
     case BwdAlgo::gemm_fallback: os << "gemm-fallback"; break;
   }
   os << " upd=" << upd_strategy_name(upd_strategy_) << " upd_b=" << upd_bp_
-     << "x" << upd_bq_ << " threads=" << threads_;
+     << "x" << upd_bq_ << " threads=" << threads_
+     << " plan=" << (plan_.tuned ? "tuned" : "default");
   return os.str();
 }
 

@@ -10,6 +10,12 @@
 //     sequences and fused-operator APPLY records (Section II-H),
 //   * the weight-update parallelization-strategy decision (Section II-J).
 //
+// All planning *decisions* (blocking extents, backward algorithm, update
+// strategy) come from a ConvPlan resolved at construction (core/plan.hpp):
+// an explicit ConvOptions::plan, a PlanCache/autotune hit, or the default
+// heuristics. Setup then only *executes* the plan — JIT, dryrun, scratch
+// sizing — so a persisted plan makes steady-state construction decision-free.
+//
 // The per-iteration calls (`forward`, `backward`, `update`) then only replay
 // streams / run tight loops — no compilation, no tuning, no branchy logic.
 //
@@ -21,12 +27,14 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/conv_params.hpp"
 #include "core/fusion.hpp"
 #include "core/partition.hpp"
+#include "core/plan.hpp"
 #include "core/streams.hpp"
 #include "kernels/kernel_registry.hpp"
 #include "platform/cpu.hpp"
@@ -61,6 +69,12 @@ struct ConvOptions {
   /// forward pass — skips its own backward/update setup (and prevents the
   /// dual-of-dual recursion).
   bool fwd_only = false;
+
+  /// Explicit plan: when set, the layer executes exactly these decisions
+  /// (validated against the shape and the isa/threads context above) and
+  /// never consults the PlanCache. When unset, resolution follows
+  /// plan.hpp's order: ablation overrides > cache > autotune/default.
+  std::optional<ConvPlan> plan;
 };
 
 class ConvLayer {
@@ -121,8 +135,12 @@ class ConvLayer {
   int upd_bp() const { return upd_bp_; }
   int upd_bq() const { return upd_bq_; }
   /// Which backward algorithm the layer selected (duality vs GEMM fallback).
-  enum class BwdAlgo { duality_stride1, duality_1x1_strided, gemm_fallback };
+  /// The enum itself now lives in plan.hpp; the alias keeps existing
+  /// `ConvLayer::BwdAlgo` spellings working.
+  using BwdAlgo = core::BwdAlgo;
   BwdAlgo bwd_algo() const { return bwd_algo_; }
+  /// The resolved plan this layer executes (explicit > cache > default).
+  const ConvPlan& plan() const { return plan_; }
 
  private:
   friend struct ConvLayerTestPeer;
@@ -161,6 +179,7 @@ class ConvLayer {
 
   ConvParams params_;
   ConvOptions opt_;
+  ConvPlan plan_;  ///< resolved at construction; all setup consumes this
   int vlen_ = 16;
   int cb_ = 1, kb_ = 1;
   int threads_ = 1;

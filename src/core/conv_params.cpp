@@ -39,7 +39,14 @@ ConvParams make_conv(int N, int C, int K, int H, int W, int R, int S,
   p.S = S;
   p.stride_h = p.stride_w = stride;
   // pad < 0 requests "same"-style padding of (R-1)/2; rectangular filters get
-  // per-axis defaults. An explicit pad applies to both axes.
+  // per-axis defaults. An explicit pad applies to both axes. Even filter dims
+  // have no symmetric "same" padding — (R-1)/2 would silently shrink the
+  // output domain — so they must pass pad explicitly.
+  if (pad < 0 && (R % 2 == 0 || S % 2 == 0))
+    throw std::invalid_argument(
+        "make_conv: default pad=-1 (\"same\") requires odd filter dims, got " +
+        std::to_string(R) + "x" + std::to_string(S) +
+        "; pass an explicit pad");
   p.pad_h = (pad < 0) ? (R - 1) / 2 : pad;
   p.pad_w = (pad < 0) ? (S - 1) / 2 : pad;
   p.validate();

@@ -29,19 +29,6 @@
 namespace xconv::core {
 
 namespace {
-int pick_block(int dim, int cap) {
-  if (dim <= cap) return dim;
-  int best = std::min(dim, cap), best_score = -1;
-  for (int b = std::min(dim, cap); b >= 2; --b) {
-    const int score = (dim % b == 0 ? 1000 : 0) + b;
-    if (score > best_score) {
-      best_score = score;
-      best = b;
-    }
-  }
-  return best;
-}
-
 // Mirror of forward's check_geometry (conv_forward.cpp): a wrong-shape
 // tensor must fail loudly instead of silently corrupting memory.
 void check_upd_geometry(const ConvLayer& l, const tensor::ActTensor& in,
@@ -67,10 +54,11 @@ void check_upd_geometry(const ConvLayer& l, const tensor::ActTensor& in,
 
 void ConvLayer::setup_update() {
   const ConvParams& p = params_;
-  // Pixel blocking: BP = P, BQ = Q maximizes dW register reuse but may spill
-  // the cache for large spatial dims (Section II-J); cap the patch size.
-  upd_bq_ = opt_.upd_bq > 0 ? opt_.upd_bq : pick_block(p.Q(), 32);
-  upd_bp_ = opt_.upd_bp > 0 ? opt_.upd_bp : pick_block(p.P(), 8);
+  // Pixel blocking (Section II-J) comes from the resolved plan: BP = P,
+  // BQ = Q maximizes dW register reuse but may spill the cache for large
+  // spatial dims, so plan_default caps the patch at kUpdBpCap x kUpdBqCap.
+  upd_bq_ = plan_.upd_bq;
+  upd_bp_ = plan_.upd_bp;
   upd_qb_full_ = p.Q() / upd_bq_;
   upd_qb_rem_ = p.Q() % upd_bq_;
   upd_pb_full_ = p.P() / upd_bp_;
@@ -105,16 +93,9 @@ void ConvLayer::setup_update() {
     }
   }
 
-  upd_strategy_ = opt_.upd_strategy;
-  if (upd_strategy_ == UpdStrategy::auto_pick) {
-    const std::int64_t act_traffic =
-        static_cast<std::int64_t>(p.input_elems()) +
-        static_cast<std::int64_t>(p.output_elems());
-    upd_strategy_ = pick_upd_strategy(
-        p.N, kb_, cb_, p.R, p.S, act_traffic,
-        static_cast<std::int64_t>(kb_) * cb_ * p.R * p.S * vlen_ * vlen_,
-        threads_);
-  }
+  // The strategy decision (the paper's bandwidth model) happened at
+  // planning time — see plan_default() / pick_upd_strategy().
+  upd_strategy_ = plan_.upd_strategy;
 
   // Privatization geometry is fully known at setup: size the per-copy dW
   // scratch arena here so branchy runs, dryrun recording and stream replay

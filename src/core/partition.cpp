@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/plan.hpp"  // named traffic-model constants
+
 namespace xconv::core {
 
 Range thread_chunk(std::int64_t total, int tid, int nthreads) {
@@ -36,20 +38,24 @@ UpdStrategy pick_upd_strategy(int n, int kb, int cb, int r, int s,
   // the minibatch scheme, insufficient minibatch parallelism forces tasks.
   if (tasks < nthreads) return (n >= nthreads) ? UpdStrategy::minibatch
                                                : UpdStrategy::task;
-  if (n < 2) return UpdStrategy::task;
-  // Approximate per-thread traffic (elements).
+  if (n < kUpdMinMinibatch) return UpdStrategy::task;
+  // Approximate per-thread traffic (elements). The crossover constants are
+  // named and documented in core/plan.hpp; tests/test_plan.cpp pins the
+  // decision boundaries they induce.
   const double kc_split = static_cast<double>(nthreads);
   const double task_traffic =
       static_cast<double>(act_traffic_elems) /
           (kc_split > 1.0 ? std::min<double>(kc_split, kb * 1.0 * cb) : 1.0) *
           nthreads +
       static_cast<double>(wt_elems);
-  const double mb_traffic = static_cast<double>(act_traffic_elems) +
-                            2.0 * nthreads * static_cast<double>(wt_elems);
+  const double mb_traffic =
+      static_cast<double>(act_traffic_elems) +
+      kUpdCopyTrafficFactor * nthreads * static_cast<double>(wt_elems);
   if (mb_traffic < task_traffic) {
     // Large weight tensors make full per-thread copies wasteful; split the
     // difference with thread groups when both dimensions offer parallelism.
-    if (tasks >= nthreads / 2 && n >= 2 && nthreads >= 4)
+    if (tasks >= nthreads / kHybridTaskDivisor && n >= kUpdMinMinibatch &&
+        nthreads >= kHybridMinThreads)
       return UpdStrategy::hybrid;
     return UpdStrategy::minibatch;
   }

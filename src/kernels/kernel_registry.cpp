@@ -136,7 +136,11 @@ const ConvMicrokernel* KernelRegistry::conv(const jit::ConvKernelDesc& desc,
   {
     const platform::MutexLock lock(mu_);
     auto it = conv_.find(key);
-    if (it != conv_.end()) return it->second.get();
+    if (it != conv_.end()) {
+      ++stats_.hits;
+      return it->second.get();
+    }
+    ++stats_.misses;
   }
   auto built = build_conv(desc, pref);  // may throw; cache stays untouched
   const platform::MutexLock lock(mu_);
@@ -150,7 +154,11 @@ const UpdMicrokernel* KernelRegistry::upd(const jit::UpdKernelDesc& desc,
   {
     const platform::MutexLock lock(mu_);
     auto it = upd_.find(key);
-    if (it != upd_.end()) return it->second.get();
+    if (it != upd_.end()) {
+      ++stats_.hits;
+      return it->second.get();
+    }
+    ++stats_.misses;
   }
   auto built = build_upd(desc, pref);  // may throw; cache stays untouched
   const platform::MutexLock lock(mu_);
@@ -160,6 +168,16 @@ const UpdMicrokernel* KernelRegistry::upd(const jit::UpdKernelDesc& desc,
 std::size_t KernelRegistry::size() const {
   const platform::MutexLock lock(mu_);
   return conv_.size() + upd_.size();
+}
+
+KernelRegistry::Stats KernelRegistry::stats() const {
+  const platform::MutexLock lock(mu_);
+  return stats_;
+}
+
+void KernelRegistry::reset_stats() {
+  const platform::MutexLock lock(mu_);
+  stats_ = Stats{};
 }
 
 }  // namespace xconv::kernels

@@ -9,6 +9,7 @@
 // insertion.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -46,6 +47,19 @@ class KernelRegistry {
   /// the "kernels generated" statistics the benches print).
   std::size_t size() const;
 
+  /// Cache traffic counters: `hits` served an existing kernel, `misses`
+  /// triggered a build (both racing builders of one key count as misses —
+  /// the counter tracks compilations requested, not map growth). Together
+  /// with PlanCache::stats() this substantiates the "zero planning work in
+  /// steady state" claim: a warm process re-constructing a layer must add
+  /// only hits.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+  void reset_stats();
+
  private:
   KernelRegistry() = default;
   // Guards the cache maps only. Kernel *construction* (JIT compile) runs
@@ -56,6 +70,7 @@ class KernelRegistry {
       XCONV_GUARDED_BY(mu_);
   std::unordered_map<std::string, std::unique_ptr<UpdMicrokernel>> upd_
       XCONV_GUARDED_BY(mu_);
+  Stats stats_ XCONV_GUARDED_BY(mu_);
 };
 
 // Backend constructors (exposed for direct use in tests/ablation benches).

@@ -85,6 +85,27 @@ TEST(ConvValidation, UpdateRejectsMismatchedTensors) {
   EXPECT_THROW(layer.update(in, dout, bad_dwt), std::invalid_argument);
 }
 
+TEST(ConvValidation, MakeConvRejectsEvenFiltersWithDefaultPad) {
+  // pad=-1 means "same" padding of (R-1)/2 — undefined for even filter dims
+  // (the symmetric pad does not exist and the output domain would silently
+  // shrink). Such layers must pass an explicit pad.
+  EXPECT_THROW(core::make_conv(1, 16, 16, 8, 8, 2, 2, 1),
+               std::invalid_argument);
+  EXPECT_THROW(core::make_conv(1, 16, 16, 8, 8, 4, 4, 2),
+               std::invalid_argument);
+  // One even axis is enough to reject.
+  EXPECT_THROW(core::make_conv(1, 16, 16, 8, 8, 3, 2, 1),
+               std::invalid_argument);
+  EXPECT_THROW(core::make_conv(1, 16, 16, 8, 8, 2, 3, 1),
+               std::invalid_argument);
+  // An explicit pad keeps even filters usable.
+  EXPECT_NO_THROW(core::make_conv(1, 16, 16, 8, 8, 2, 2, 1, 0));
+  EXPECT_NO_THROW(core::make_conv(1, 16, 16, 8, 8, 2, 2, 1, 1));
+  // Odd filters keep the default-pad convenience.
+  EXPECT_NO_THROW(core::make_conv(1, 16, 16, 8, 8, 3, 3, 1));
+  EXPECT_NO_THROW(core::make_conv(1, 16, 16, 8, 8, 5, 1, 1));
+}
+
 TEST(ConvValidation, MatchingTensorsPass) {
   auto layer = make_layer();
   auto in = layer.make_input();

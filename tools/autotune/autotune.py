@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Autotune driver + smoke gate around bench_autotune.
+
+Runs bench_autotune twice against one plan-cache directory and checks the
+contract the ConvPlan layer promises:
+
+  cold run:  every layer is a cache miss, the measured search runs
+             (candidates > 0), and the winner is persisted to the cache.
+  warm run:  every layer is served from the cache with ZERO planning work
+             (cache_hit true, candidates == 0, plan_cache_disk_hits == rows).
+  quality:   tuned GFLOPS >= default GFLOPS * (1 - tolerance) on both runs
+             and both passes — the tuner must never ship a plan measurably
+             worse than the closed-form default.
+
+Exit code 0 on success, 1 with a reason on any violation. Used by the CI
+autotune-smoke job; also handy locally:
+
+  python3 tools/autotune/autotune.py --bench build/bench/bench_autotune
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(bench, layers, cache, out, runs):
+    cmd = [
+        bench,
+        f"--layers={layers}",
+        f"--cache={cache}",
+        f"--out={out}",
+        f"--runs={runs}",
+    ]
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True)
+    with open(out) as f:
+        return json.load(f)
+
+
+def fail(msg):
+    print(f"autotune smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_quality(doc, phase, tol):
+    for row in doc["results"]:
+        for p in ("fwd", "upd"):
+            default = row[f"default_{p}_gflops"]
+            tuned = row[f"tuned_{p}_gflops"]
+            if tuned < default * (1.0 - tol):
+                fail(
+                    f"{phase} {row['layer']} {p}: tuned {tuned:.1f} GFLOPS < "
+                    f"default {default:.1f} * (1 - {tol}) — tuned plan is a "
+                    f"regression"
+                )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default="build/bench/bench_autotune",
+                    help="path to the bench_autotune binary")
+    ap.add_argument("--layers", default="2,5,8",
+                    help="ResNet-50 Table-1 layer ids (comma separated)")
+    ap.add_argument("--cache", default=None,
+                    help="plan cache dir (default: fresh temp dir)")
+    ap.add_argument("--runs", type=int,
+                    default=int(os.environ.get("XCONV_BENCH_RUNS", "3")))
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed noise fraction for tuned-vs-default "
+                         "GFLOPS (default 0.25)")
+    args = ap.parse_args()
+
+    cache = args.cache or tempfile.mkdtemp(prefix="xconv_plan_cache_")
+    if os.listdir(cache):
+        fail(f"cache dir {cache} is not empty; cold-run assertions need a "
+             f"fresh directory")
+
+    with tempfile.TemporaryDirectory(prefix="xconv_autotune_out_") as outdir:
+        cold = run_bench(args.bench, args.layers, cache,
+                         os.path.join(outdir, "cold.json"), args.runs)
+        warm = run_bench(args.bench, args.layers, cache,
+                         os.path.join(outdir, "warm.json"), args.runs)
+
+    n = len(cold["results"])
+    if n == 0:
+        fail("no layers benchmarked")
+    if len(warm["results"]) != n:
+        fail("cold and warm runs benchmarked different layer counts")
+
+    for row in cold["results"]:
+        if row["cache_hit"]:
+            fail(f"cold {row['layer']}: unexpected cache hit (stale cache?)")
+        if row["candidates"] <= 0:
+            fail(f"cold {row['layer']}: search tried no candidates")
+    if cold["plan_cache_stores"] != n:
+        fail(f"cold run persisted {cold['plan_cache_stores']} plans, "
+             f"expected {n}")
+
+    # The warm contract: zero planning work. Everything comes off disk.
+    for row in warm["results"]:
+        if not row["cache_hit"]:
+            fail(f"warm {row['layer']}: cache miss — persisted plan not "
+                 f"picked up")
+        if row["candidates"] != 0:
+            fail(f"warm {row['layer']}: search re-ran "
+                 f"({row['candidates']} candidates) despite cached plan")
+    if warm["plan_cache_disk_hits"] != n:
+        fail(f"warm run loaded {warm['plan_cache_disk_hits']} plans from "
+             f"disk, expected {n}")
+    if warm["plan_cache_stores"] != 0:
+        fail(f"warm run re-stored {warm['plan_cache_stores']} plans, "
+             f"expected 0")
+
+    # Warm plans must be the cold winners, bit for bit.
+    plan_fields = ("rbp", "rbq", "upd_bp", "upd_bq", "upd_strategy",
+                   "tuned_plan")
+    for c, w in zip(cold["results"], warm["results"]):
+        for f in plan_fields:
+            if c[f] != w[f]:
+                fail(f"{c['layer']}: warm plan {f}={w[f]} != cold "
+                     f"winner {f}={c[f]} — cache round-trip changed the plan")
+
+    check_quality(cold, "cold", args.tolerance)
+    check_quality(warm, "warm", args.tolerance)
+
+    print(f"autotune smoke: PASS ({n} layers, cold search + warm "
+          f"zero-work cache hits, tuned >= default within "
+          f"{args.tolerance:.0%})")
+
+
+if __name__ == "__main__":
+    main()

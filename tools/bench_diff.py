@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Regression diff between a fresh bench_runner JSON and a committed baseline.
+
+Matches rows on (set, layer, pass, mode) and compares GFLOPS. The committed
+baseline was captured on a different host than CI runners, and neither raw
+GFLOPS nor peak-normalized numbers transfer between hosts (measured 1-core
+peak and conv efficiency scale differently across microarchitectures). So the
+check is *relative*: compute each row's fresh/baseline ratio, take the median
+ratio as the host-speed factor, and fail any row whose ratio drops below
+``median * floor``. A uniform host-speed difference cancels exactly; what's
+left is "this particular layer/pass/mode fell off a cliff while the others
+didn't" — the signature of a planning or kernel regression.
+
+The floor is deliberately loose (default 0.5 of the median): this is a
+tripwire, not a perf gate. Override with --floor or XCONV_BENCH_DIFF_FLOOR.
+
+Rows present in only one file are reported but never fail the diff (the smoke
+job may bench a subset of the committed set).
+
+Usage:
+    python3 tools/bench_diff.py FRESH.json BASELINE.json [--floor 0.5]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for r in doc.get("results", []):
+        key = (r.get("set"), r["layer"], r["pass"], r.get("mode"))
+        rows[key] = r["gflops"]
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly produced bench_runner JSON")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("--floor", type=float,
+                    default=float(os.environ.get("XCONV_BENCH_DIFF_FLOOR",
+                                                 "0.5")),
+                    help="fail a row if its fresh/baseline ratio < "
+                         "median ratio * floor (default 0.5)")
+    args = ap.parse_args()
+
+    fresh = load_rows(args.fresh)
+    base = load_rows(args.baseline)
+
+    common = sorted(k for k in set(fresh) & set(base) if base[k] > 0)
+    if not common:
+        print("bench diff: FAIL: no (set, layer, pass, mode) rows in common "
+              "between the two files", file=sys.stderr)
+        return 1
+
+    only_fresh = sorted(set(fresh) - set(base))
+    only_base = sorted(set(base) - set(fresh))
+    if only_fresh:
+        print(f"bench diff: note: {len(only_fresh)} fresh row(s) not in "
+              f"baseline (new layers?)")
+    if only_base:
+        print(f"bench diff: note: {len(only_base)} baseline row(s) not "
+              f"benched this run")
+
+    ratios = {k: fresh[k] / base[k] for k in common}
+    med = statistics.median(ratios.values())
+    cutoff = med * args.floor
+
+    failures = []
+    worst = (None, float("inf"))
+    for key in common:
+        if ratios[key] < worst[1]:
+            worst = (key, ratios[key])
+        if ratios[key] < cutoff:
+            failures.append(key)
+
+    for key in failures:
+        s, layer, pss, mode = key
+        print(f"bench diff: FAIL: {s}/{layer} {pss} {mode}: "
+              f"{fresh[key]:.1f} GFLOPS vs baseline {base[key]:.1f} "
+              f"(ratio {ratios[key]:.2f} < median {med:.2f} * floor "
+              f"{args.floor})", file=sys.stderr)
+    if failures:
+        print(f"bench diff: {len(failures)}/{len(common)} row(s) below "
+              f"floor", file=sys.stderr)
+        return 1
+
+    wkey, wratio = worst
+    print(f"bench diff: PASS ({len(common)} rows; host-speed factor "
+          f"(median ratio) {med:.2f}; worst row ratio {wratio:.2f} at "
+          f"{'/'.join(str(k) for k in wkey)} >= cutoff {cutoff:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

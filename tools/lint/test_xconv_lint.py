@@ -200,6 +200,68 @@ class RuleTest(unittest.TestCase):
         self.assertEqual(lock["bench/bench_x.cpp"]["fields"],
                          ["alpha", "beta", "schema_version"])
 
+    # --- plan-schema --------------------------------------------------------
+
+    PLAN_HPP = ("#pragma once\n"
+                "inline constexpr int kPlanSchemaVersion = 1;\n")
+    PLAN_CPP = ('#include <sstream>\nvoid w(std::ostream& os) {\n'
+                '  os << "  \\"plan_schema_version\\": " << 1 << ",\\n";\n'
+                '  os << "  \\"rbp\\": " << 1 << ",\\n";\n'
+                '  os << "  \\"rbq\\": " << 1 << "\\n";\n}\n')
+
+    def plan_repo(self):
+        make_repo(self.repo, {"src/core/plan.hpp": self.PLAN_HPP,
+                              "src/core/plan.cpp": self.PLAN_CPP})
+
+    def test_locked_plan_schema_passes(self):
+        self.plan_repo()
+        lint.update_plan_lock(self.repo)
+        self.assertEqual(lint.check_plan_schema(self.repo), [])
+
+    def test_missing_plan_lockfile_flagged(self):
+        self.plan_repo()
+        v = lint.check_plan_schema(self.repo)
+        self.assertEqual([x.rule for x in v], ["plan-schema"])
+        self.assertIn("lockfile missing", v[0].message)
+
+    def test_no_plan_emitter_and_no_lockfile_passes(self):
+        # Pre-ConvPlan trees (or a removed plan layer with the lock cleaned
+        # up) are clean.
+        self.assertEqual(lint.check_plan_schema(self.repo), [])
+
+    def test_plan_field_change_without_bump_flagged(self):
+        self.plan_repo()
+        lint.update_plan_lock(self.repo)
+        make_repo(self.repo, {"src/core/plan.cpp":
+                              self.PLAN_CPP.replace("rbq", "upd_bq")})
+        v = lint.check_plan_schema(self.repo)
+        self.assertEqual(len(v), 1)
+        self.assertIn("bump the version", v[0].message)
+        self.assertIn("upd_bq", v[0].message)
+
+    def test_plan_version_bump_then_relock_passes(self):
+        self.plan_repo()
+        lint.update_plan_lock(self.repo)
+        make_repo(self.repo, {
+            "src/core/plan.cpp": self.PLAN_CPP.replace("rbq", "upd_bq"),
+            "src/core/plan.hpp":
+                self.PLAN_HPP.replace("kPlanSchemaVersion = 1",
+                                      "kPlanSchemaVersion = 2")})
+        # Bump without re-lock: flagged as a version mismatch.
+        v = lint.check_plan_schema(self.repo)
+        self.assertEqual(len(v), 1)
+        self.assertIn("does not match lockfile", v[0].message)
+        lint.update_plan_lock(self.repo)
+        self.assertEqual(lint.check_plan_schema(self.repo), [])
+
+    def test_plan_lockfile_contents(self):
+        self.plan_repo()
+        lint.update_plan_lock(self.repo)
+        lock = json.loads((self.repo / lint.PLAN_LOCK).read_text())
+        self.assertEqual(lock["plan_schema_version"], 1)
+        self.assertEqual(lock["fields"],
+                         ["plan_schema_version", "rbp", "rbq"])
+
 
 if __name__ == "__main__":
     unittest.main(verbosity=2)

@@ -33,10 +33,19 @@ bench-schema
     Changing emitted fields without bumping the version breaks every
     downstream trajectory diff; this rule forces the bump (and a lockfile
     regeneration via ``--update-bench-lock``) to land in the same commit.
+plan-schema
+    Same contract for the on-disk plan cache: the JSON fields written by
+    ``ConvPlan::to_json`` (src/core/plan.cpp) and ``kPlanSchemaVersion``
+    (src/core/plan.hpp) are locked in ``tools/lint/plan_schema.json``.
+    Cached plan files outlive the binary that wrote them, so silently
+    changing the serialization would turn every user's warm cache into
+    rejected-stale entries (or worse, misparses). Changing either requires a
+    version bump plus ``--update-plan-lock`` in the same commit.
 
 Usage
 -----
     python3 tools/lint/xconv_lint.py [--repo PATH] [--update-bench-lock]
+                                     [--update-plan-lock]
 
 Self-tests live in ``tools/lint/test_xconv_lint.py`` (plain unittest, known
 -bad fixtures per rule).
@@ -66,6 +75,12 @@ THREAD_SCOPED_DIRS = ("src",)
 
 BENCH_LOCK = "tools/lint/bench_schema.json"
 
+# Plan-cache serialization contract: the emitter, the version constant's
+# header, and the lockfile that pins both.
+PLAN_EMITTER = "src/core/plan.cpp"
+PLAN_VERSION_HEADER = "src/core/plan.hpp"
+PLAN_LOCK = "tools/lint/plan_schema.json"
+
 GETENV_RE = re.compile(r"\bgetenv\s*\(")
 # std::thread not followed by :: (static member access creates no thread).
 THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
@@ -73,6 +88,7 @@ OMP_RE = re.compile(r"#\s*pragma\s+omp\b")
 # A JSON key literal inside an fprintf format string: \"key\":
 JSON_KEY_RE = re.compile(r'\\"([A-Za-z_][A-Za-z_0-9]*)\\":')
 SCHEMA_VERSION_RE = re.compile(r'\\"schema_version\\":\s*(\d+)')
+PLAN_VERSION_RE = re.compile(r"\bkPlanSchemaVersion\s*=\s*(\d+)")
 
 
 class Violation:
@@ -325,12 +341,89 @@ def update_bench_lock(repo: Path) -> None:
     print(f"wrote {rel(repo, lock_path)} ({len(emitters)} emitters)")
 
 
+# --- rule: plan-schema ------------------------------------------------------
+
+def scan_plan_schema(repo: Path) -> dict | None:
+    """Current plan-cache serialization contract, or None if the ConvPlan
+    layer is absent: {"plan_schema_version": int, "fields": sorted list}."""
+    emitter = repo / PLAN_EMITTER
+    header = repo / PLAN_VERSION_HEADER
+    if not emitter.is_file() or not header.is_file():
+        return None
+    m = PLAN_VERSION_RE.search(header.read_text(encoding="utf-8",
+                                                errors="replace"))
+    if m is None:
+        return None
+    fields = sorted(set(JSON_KEY_RE.findall(
+        emitter.read_text(encoding="utf-8", errors="replace"))))
+    return {"plan_schema_version": int(m.group(1)), "fields": fields}
+
+
+def check_plan_schema(repo: Path) -> list:
+    out = []
+    lock_path = repo / PLAN_LOCK
+    cur = scan_plan_schema(repo)
+    if cur is None:
+        if lock_path.is_file():
+            out.append(Violation(PLAN_LOCK, 1, "plan-schema",
+                                 "lockfile exists but the plan emitter/"
+                                 "version constant is gone; run "
+                                 "--update-plan-lock"))
+        return out
+    if not lock_path.is_file():
+        out.append(Violation(PLAN_LOCK, 1, "plan-schema",
+                             "lockfile missing; run xconv_lint.py "
+                             "--update-plan-lock and commit it"))
+        return out
+    lock = json.loads(lock_path.read_text(encoding="utf-8"))
+    same_fields = lock.get("fields") == cur["fields"]
+    same_version = (lock.get("plan_schema_version") ==
+                    cur["plan_schema_version"])
+    if same_fields and same_version:
+        return out
+    if not same_fields and same_version:
+        added = sorted(set(cur["fields"]) - set(lock.get("fields", [])))
+        removed = sorted(set(lock.get("fields", [])) - set(cur["fields"]))
+        out.append(Violation(
+            PLAN_EMITTER, 1, "plan-schema",
+            "plan-cache JSON fields changed (added: %s; removed: %s) but "
+            "kPlanSchemaVersion is still %d; cached plans on disk would "
+            "misparse — bump the version and run --update-plan-lock" %
+            (added or "-", removed or "-", cur["plan_schema_version"])))
+    else:
+        out.append(Violation(
+            PLAN_VERSION_HEADER, 1, "plan-schema",
+            "kPlanSchemaVersion %s does not match lockfile (%s); run "
+            "--update-plan-lock to re-lock" %
+            (cur["plan_schema_version"], lock.get("plan_schema_version"))))
+    return out
+
+
+def update_plan_lock(repo: Path) -> None:
+    lock_path = repo / PLAN_LOCK
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    cur = scan_plan_schema(repo)
+    if cur is None:
+        if lock_path.is_file():
+            lock_path.unlink()
+            print(f"removed {rel(repo, lock_path)} (no plan emitter)")
+        else:
+            print("no plan emitter; nothing to lock")
+        return
+    lock_path.write_text(json.dumps(cur, indent=2, sort_keys=True) + "\n",
+                         encoding="utf-8")
+    print(f"wrote {rel(repo, lock_path)} "
+          f"(version {cur['plan_schema_version']}, "
+          f"{len(cur['fields'])} fields)")
+
+
 RULES = (
     check_env_getenv,
     check_thread_outside_allreduce,
     check_omp_in_header,
     check_test_registration,
     check_bench_schema,
+    check_plan_schema,
 )
 
 
@@ -347,10 +440,15 @@ def main(argv=None) -> int:
                     help="repo root (default: two levels up from this file)")
     ap.add_argument("--update-bench-lock", action="store_true",
                     help="regenerate tools/lint/bench_schema.json and exit")
+    ap.add_argument("--update-plan-lock", action="store_true",
+                    help="regenerate tools/lint/plan_schema.json and exit")
     args = ap.parse_args(argv)
     repo = Path(args.repo) if args.repo else Path(__file__).resolve().parents[2]
-    if args.update_bench_lock:
-        update_bench_lock(repo)
+    if args.update_bench_lock or args.update_plan_lock:
+        if args.update_bench_lock:
+            update_bench_lock(repo)
+        if args.update_plan_lock:
+            update_plan_lock(repo)
         return 0
     violations = run(repo)
     for v in violations:

@@ -221,7 +221,17 @@ class ConvLayer {
   UpdStrategy upd_strategy_ = UpdStrategy::task;
   int upd_bp_ = 0, upd_bq_ = 0;
   std::vector<const kernels::UpdMicrokernel*> upd_variants_;
-  std::array<int, 8> upd_vmap_{};  ///< (p_edge, q_edge, beta0) -> variant
+  /// (c_edge, p_edge, q_edge, beta0) -> variant. c_edge selects the
+  /// channel-remainder kernels (C % vlen rows) for the last Cb block; those
+  /// entries stay -1 when C divides vlen.
+  std::array<int, 16> upd_vmap_{};
+  static int upd_vmap_index(int c_edge, int p_edge, int q_edge, int beta0) {
+    return ((c_edge * 2 + p_edge) * 2 + q_edge) * 2 + beta0;
+  }
+  int upd_c_rem_ = 0;  ///< C % vlen (0 when divisible: no c-edge variants)
+  /// Generated reduce-epilogue kernel for the privatized-dW sum (null when
+  /// the strategy doesn't privatize, the plan disables it, or no SIMD).
+  const kernels::ReduceMicrokernel* upd_reduce_ = nullptr;
   int upd_pb_full_ = 0, upd_pb_rem_ = 0, upd_qb_full_ = 0, upd_qb_rem_ = 0;
   int upd_groups_ = 0;  ///< hybrid thread-group count (0 unless hybrid)
   std::size_t upd_dw_size_ = 0;               ///< elements of one dW copy

@@ -21,6 +21,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 
@@ -67,28 +68,36 @@ void ConvLayer::setup_update() {
   auto& reg = kernels::KernelRegistry::instance();
   upd_variants_.clear();
   upd_vmap_.fill(-1);
-  for (int pe = 0; pe < 2; ++pe) {
-    const int bp = pe ? upd_pb_rem_ : upd_bp_;
-    if (bp == 0) continue;
-    for (int qe = 0; qe < 2; ++qe) {
-      const int bq = qe ? upd_qb_rem_ : upd_bq_;
-      if (bq == 0) continue;
-      for (int b0 = 0; b0 < 2; ++b0) {
-        jit::UpdKernelDesc d;
-        d.isa = opt_.isa == platform::Isa::scalar ? platform::Isa::avx512
-                                                  : opt_.isa;
-        d.vlen = vlen_;
-        d.bp = bp;
-        d.bq = bq;
-        d.stride_h = p.stride_h;
-        d.stride_w = p.stride_w;
-        d.in_row_stride = in_row_stride_;
-        d.out_row_stride = out_row_stride_;
-        d.beta0 = (b0 == 1);
-        d.prefetch = opt_.prefetch;
-        upd_variants_.push_back(reg.upd(d, opt_.backend));
-        upd_vmap_[(pe * 2 + qe) * 2 + b0] =
-            static_cast<int>(upd_variants_.size() - 1);
+  // Channel-remainder variants (ce = 1) accumulate only the C % vlen real
+  // channel rows of the last Cb block — the padded rows are zero in the
+  // blocked input, so skipping them is bitwise-identical and saves up to
+  // vlen/(C % vlen)x FMA work (e.g. 16/3 on a C=3 first layer).
+  upd_c_rem_ = p.C % vlen_;
+  for (int ce = 0; ce < (upd_c_rem_ > 0 ? 2 : 1); ++ce) {
+    for (int pe = 0; pe < 2; ++pe) {
+      const int bp = pe ? upd_pb_rem_ : upd_bp_;
+      if (bp == 0) continue;
+      for (int qe = 0; qe < 2; ++qe) {
+        const int bq = qe ? upd_qb_rem_ : upd_bq_;
+        if (bq == 0) continue;
+        for (int b0 = 0; b0 < 2; ++b0) {
+          jit::UpdKernelDesc d;
+          d.isa = opt_.isa == platform::Isa::scalar ? platform::Isa::avx512
+                                                    : opt_.isa;
+          d.vlen = vlen_;
+          d.bp = bp;
+          d.bq = bq;
+          d.stride_h = p.stride_h;
+          d.stride_w = p.stride_w;
+          d.in_row_stride = in_row_stride_;
+          d.out_row_stride = out_row_stride_;
+          d.beta0 = (b0 == 1);
+          d.prefetch = opt_.prefetch;
+          d.cmin = ce ? upd_c_rem_ : 0;
+          upd_variants_.push_back(reg.upd(d, opt_.backend));
+          upd_vmap_[upd_vmap_index(ce, pe, qe, b0)] =
+              static_cast<int>(upd_variants_.size() - 1);
+        }
       }
     }
   }
@@ -116,6 +125,27 @@ void ConvLayer::setup_update() {
     upd_scratch_.resize(upd_dw_size_ * threads_);
   else if (upd_groups_ > 0)
     upd_scratch_.resize(upd_dw_size_ * upd_groups_);
+
+  // Reduce-epilogue kernel for the privatized-copy sum. Resolved only when
+  // the strategy actually privatizes; the plan gates it (upd_reduce_jit) and
+  // picks the chunk unroll. Spans past disp32 fall back to the scalar loop.
+  upd_reduce_ = nullptr;
+  const int red_copies =
+      upd_strategy_ == UpdStrategy::minibatch ? threads_ : upd_groups_;
+  if (red_copies >= 2 && plan_.upd_reduce_jit) {
+    jit::ReduceKernelDesc rd;
+    rd.isa = opt_.isa == platform::Isa::scalar ? platform::Isa::avx512
+                                               : opt_.isa;
+    rd.vlen = vlen_;
+    rd.copies = red_copies;
+    rd.copy_stride = static_cast<std::int64_t>(upd_dw_size_);
+    rd.unroll = plan_.upd_reduce_unroll;
+    const std::int64_t span =
+        (static_cast<std::int64_t>(red_copies - 1) * rd.copy_stride +
+         static_cast<std::int64_t>(rd.unroll) * vlen_) *
+        4;
+    if (span <= INT32_MAX) upd_reduce_ = reg.reduce(rd, opt_.backend);
+  }
 }
 
 float* ConvLayer::upd_dw_base(int tid, float* dw) {
@@ -164,40 +194,71 @@ void ConvLayer::update_branchy(const float* in_b, const float* do_b,
       }
     };
 
-    // Accumulate every pixel block of minibatch range [n0, n1) into the dW
-    // block (kbi, cbi, r, s) at dw_off; the first contribution selects the
-    // beta0 kernel, so each covered block is fully overwritten.
+    // One pixel block (n, pjb, qib) of minibatch contribution into the dW
+    // block (kbi, cbi, r, s) at dw_off. `first` selects the beta0 kernel so
+    // each covered block is fully overwritten; the c-edge variants cover the
+    // channel-remainder rows of the last Cb block.
+    auto emit_block = [&](std::int64_t dw_off, int kbi, int cbi, int r, int s,
+                          int n, int pjb, int qib, bool first) {
+      const bool p_edge = (upd_pb_rem_ > 0 && pjb == upd_pb_full_);
+      const int oj0 = std::min(pjb, upd_pb_full_) * upd_bp_;
+      const bool q_edge = (upd_qb_rem_ > 0 && qib == upd_qb_full_);
+      const int oi0 = std::min(qib, upd_qb_full_) * upd_bq_;
+      const std::int64_t in_off =
+          n * in_n_stride_ + cbi * in_cb_stride_ +
+          static_cast<std::int64_t>(oj0 * p.stride_h + r + in_shift_h_) *
+              in_row_stride_ +
+          static_cast<std::int64_t>(oi0 * p.stride_w + s + in_shift_w_) *
+              vlen_;
+      const std::int64_t do_off =
+          n * out_n_stride_ + kbi * out_kb_stride_ +
+          static_cast<std::int64_t>(oj0 + out_pad_h_) * out_row_stride_ +
+          static_cast<std::int64_t>(oi0 + out_pad_w_) * vlen_;
+      const bool c_edge = (upd_c_rem_ > 0 && cbi == cb_ - 1);
+      const int v = upd_vmap_[upd_vmap_index(c_edge ? 1 : 0, p_edge ? 1 : 0,
+                                             q_edge ? 1 : 0, first ? 1 : 0)];
+      emit_upd(v, in_off, do_off, dw_off);
+    };
+
+    // Accumulate every pixel block of minibatch range [n0, n1) into one dW
+    // block, pixel blocks in (n, pjb, qib) lexicographic order.
     auto accumulate = [&](std::int64_t dw_off, int kbi, int cbi, int r, int s,
                           int n0, int n1) {
       bool first = true;
-      for (int n = n0; n < n1; ++n) {
-        for (int pjb = 0; pjb < n_pb; ++pjb) {
-          const bool p_edge = (upd_pb_rem_ > 0 && pjb == upd_pb_full_);
-          const int oj0 = std::min(pjb, upd_pb_full_) * upd_bp_;
+      for (int n = n0; n < n1; ++n)
+        for (int pjb = 0; pjb < n_pb; ++pjb)
           for (int qib = 0; qib < n_qb; ++qib) {
-            const bool q_edge = (upd_qb_rem_ > 0 && qib == upd_qb_full_);
-            const int oi0 = std::min(qib, upd_qb_full_) * upd_bq_;
-            const std::int64_t in_off =
-                n * in_n_stride_ + cbi * in_cb_stride_ +
-                static_cast<std::int64_t>(oj0 * p.stride_h + r +
-                                          in_shift_h_) *
-                    in_row_stride_ +
-                static_cast<std::int64_t>(oi0 * p.stride_w + s +
-                                          in_shift_w_) *
-                    vlen_;
-            const std::int64_t do_off =
-                n * out_n_stride_ + kbi * out_kb_stride_ +
-                static_cast<std::int64_t>(oj0 + out_pad_h_) *
-                    out_row_stride_ +
-                static_cast<std::int64_t>(oi0 + out_pad_w_) * vlen_;
-            const int v =
-                upd_vmap_[((p_edge ? 1 : 0) * 2 + (q_edge ? 1 : 0)) * 2 +
-                          (first ? 1 : 0)];
-            emit_upd(v, in_off, do_off, dw_off);
+            emit_block(dw_off, kbi, cbi, r, s, n, pjb, qib, first);
             first = false;
           }
+    };
+
+    // Run task range [t0, t1) over minibatch range [n0, n1) in the plan's
+    // loop order. Both orders walk each dW block's pixel contributions in
+    // identical (n, pjb, qib) lexicographic sequence, so the accumulated
+    // bits match; only the *interleaving across tasks* changes. pixel_outer
+    // keeps the (n, pjb, qib) activation working set cache-resident across
+    // the whole task sweep instead of re-streaming it per task.
+    auto run_tasks = [&](std::int64_t t0, std::int64_t t1, int n0, int n1) {
+      if (plan_.upd_loop_order == UpdLoopOrder::task_outer) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          int kbi, cbi, r, s;
+          task_coords(t, kbi, cbi, r, s);
+          accumulate(dw_offset(kbi, cbi, r, s), kbi, cbi, r, s, n0, n1);
         }
+        return;
       }
+      for (int n = n0; n < n1; ++n)
+        for (int pjb = 0; pjb < n_pb; ++pjb)
+          for (int qib = 0; qib < n_qb; ++qib) {
+            const bool first = (n == n0 && pjb == 0 && qib == 0);
+            for (std::int64_t t = t0; t < t1; ++t) {
+              int kbi, cbi, r, s;
+              task_coords(t, kbi, cbi, r, s);
+              emit_block(dw_offset(kbi, cbi, r, s), kbi, cbi, r, s, n, pjb,
+                         qib, first);
+            }
+          }
     };
 
     // Privatized copies: barrier, then each thread sums a contiguous slice
@@ -213,6 +274,12 @@ void ConvLayer::update_branchy(const float* in_b, const float* do_b,
         return;
       }
       const float* src = upd_scratch_.data();
+      // The generated kernel keeps the exact per-element copy order of the
+      // scalar loop below, so dispatching through it changes no bits.
+      if (upd_reduce_ != nullptr && upd_reduce_->desc().copies == copies) {
+        upd_reduce_->run(src + er.begin, dw + er.begin, er.size());
+        return;
+      }
       for (std::int64_t e = er.begin; e < er.end; ++e) {
         float acc = src[e];
         for (int c = 1; c < copies; ++c) acc += src[dw_size * c + e];
@@ -226,11 +293,7 @@ void ConvLayer::update_branchy(const float* in_b, const float* do_b,
         (upd_strategy_ == UpdStrategy::hybrid && upd_groups_ == 0);
     if (task_style) {
       const Range tr = thread_chunk(tasks, tid, threads_);
-      for (std::int64_t t = tr.begin; t < tr.end; ++t) {
-        int kbi, cbi, r, s;
-        task_coords(t, kbi, cbi, r, s);
-        accumulate(dw_offset(kbi, cbi, r, s), kbi, cbi, r, s, 0, p.N);
-      }
+      run_tasks(tr.begin, tr.end, 0, p.N);
     } else if (upd_strategy_ == UpdStrategy::minibatch) {
       const Range nr = thread_chunk(p.N, tid, threads_);
       if (nr.empty()) {
@@ -242,12 +305,8 @@ void ConvLayer::update_branchy(const float* in_b, const float* do_b,
           std::memset(dw_base, 0,
                       static_cast<std::size_t>(dw_size) * sizeof(float));
       } else {
-        for (std::int64_t t = 0; t < tasks; ++t) {
-          int kbi, cbi, r, s;
-          task_coords(t, kbi, cbi, r, s);
-          accumulate(dw_offset(kbi, cbi, r, s), kbi, cbi, r, s,
-                     static_cast<int>(nr.begin), static_cast<int>(nr.end));
-        }
+        run_tasks(0, tasks, static_cast<int>(nr.begin),
+                  static_cast<int>(nr.end));
       }
       reduce_phase(threads_);
     } else {
@@ -260,12 +319,8 @@ void ConvLayer::update_branchy(const float* in_b, const float* do_b,
           threads_ / upd_groups_ + (g < threads_ % upd_groups_ ? 1 : 0);
       const Range nr = thread_chunk(p.N, g, upd_groups_);
       const Range tr = thread_chunk(tasks, member, members);
-      for (std::int64_t t = tr.begin; t < tr.end; ++t) {
-        int kbi, cbi, r, s;
-        task_coords(t, kbi, cbi, r, s);
-        accumulate(dw_offset(kbi, cbi, r, s), kbi, cbi, r, s,
-                   static_cast<int>(nr.begin), static_cast<int>(nr.end));
-      }
+      run_tasks(tr.begin, tr.end, static_cast<int>(nr.begin),
+                static_cast<int>(nr.end));
       reduce_phase(upd_groups_);
     }
   });
@@ -289,7 +344,7 @@ void ConvLayer::update(const tensor::ActTensor& in,
     parallel_exact("ConvLayer::update", [&](int tid) {
       upd_streams_[tid].replay_upd(upd_variants_, in_b, do_b,
                                    upd_dw_base(tid, dw),
-                                   upd_scratch_.data(), dw);
+                                   upd_scratch_.data(), dw, upd_reduce_);
     });
     return;
   }

@@ -92,6 +92,16 @@ bool upd_strategy_from_name(const std::string& s, UpdStrategy* out) {
   return false;
 }
 
+bool upd_loop_order_from_name(const std::string& s, UpdLoopOrder* out) {
+  for (UpdLoopOrder o : {UpdLoopOrder::task_outer, UpdLoopOrder::pixel_outer}) {
+    if (s == upd_loop_order_name(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
 thread_local bool g_autotune_in_progress = false;
 
 }  // namespace
@@ -101,6 +111,14 @@ const char* bwd_algo_name(BwdAlgo a) {
     case BwdAlgo::duality_stride1: return "duality-s1";
     case BwdAlgo::duality_1x1_strided: return "duality-1x1-strided";
     case BwdAlgo::gemm_fallback: return "gemm-fallback";
+  }
+  return "unknown";
+}
+
+const char* upd_loop_order_name(UpdLoopOrder o) {
+  switch (o) {
+    case UpdLoopOrder::task_outer: return "task-outer";
+    case UpdLoopOrder::pixel_outer: return "pixel-outer";
   }
   return "unknown";
 }
@@ -248,6 +266,33 @@ ConvPlan plan_default(const ConvParams& p, const PlanRequest& req) {
               plan.vlen,
           plan.threads);
     }
+
+    // Loop-order traffic model: task_outer re-streams each input Cb slice
+    // once per (kb, r, s) task touching it (and each dO Kb slice per
+    // (cb, r, s) task); pixel_outer streams the activations once but
+    // re-touches the whole dW working set (read + write) per pixel block
+    // unless it stays cache-resident. Pick the cheaper order.
+    {
+      const std::int64_t in_bytes =
+          static_cast<std::int64_t>(p.input_elems()) * 4;
+      const std::int64_t do_bytes =
+          static_cast<std::int64_t>(p.output_elems()) * 4;
+      const std::int64_t dw_bytes = static_cast<std::int64_t>(kb) * cb * p.R *
+                                    p.S * plan.vlen * plan.vlen * 4;
+      const std::int64_t n_pixel_blocks =
+          static_cast<std::int64_t>(p.N) *
+          tensor::ceil_div(P, plan.upd_bp) * tensor::ceil_div(Q, plan.upd_bq);
+      const std::int64_t task_traffic =
+          static_cast<std::int64_t>(kb) * p.R * p.S * in_bytes +
+          static_cast<std::int64_t>(cb) * p.R * p.S * do_bytes;
+      const std::int64_t dw_sweeps =
+          dw_bytes <= kUpdLoopOrderL2Budget ? 1 : n_pixel_blocks;
+      const std::int64_t pixel_traffic =
+          in_bytes + do_bytes + 2 * dw_bytes * dw_sweeps;
+      plan.upd_loop_order = pixel_traffic < task_traffic
+                                ? UpdLoopOrder::pixel_outer
+                                : UpdLoopOrder::task_outer;
+    }
   }
   return plan;
 }
@@ -293,6 +338,8 @@ void ConvPlan::validate(const ConvParams& p, PlanPass pass) const {
     fail("unresolved (auto_pick) update strategy");
   if (upd_bp < 1 || upd_bp > P || upd_bq < 1 || upd_bq > Q)
     fail("update pixel blocking out of range");
+  if (upd_reduce_unroll < 1 || upd_reduce_unroll > 8)
+    fail("upd_reduce_unroll outside [1, 8]");
 }
 
 // ---------------------------------------------------------------------------
@@ -320,6 +367,11 @@ std::string ConvPlan::to_json(const PlanKey& key) const {
      << "\",\n";
   os << "  \"upd_bp\": " << upd_bp << ",\n";
   os << "  \"upd_bq\": " << upd_bq << ",\n";
+  os << "  \"upd_loop_order\": \"" << upd_loop_order_name(upd_loop_order)
+     << "\",\n";
+  os << "  \"upd_reduce_jit\": " << (upd_reduce_jit ? "true" : "false")
+     << ",\n";
+  os << "  \"upd_reduce_unroll\": " << upd_reduce_unroll << ",\n";
   os << "  \"tuned\": " << (tuned ? "true" : "false") << "\n";
   os << "}\n";
   return os.str();
@@ -442,9 +494,9 @@ PlanLoadStatus plan_from_json(const std::string& text, const PlanKey& expect,
   if (key != expect.to_string()) return PlanLoadStatus::key_mismatch;
 
   ConvPlan plan;
-  std::string isa, backend, bwd, upd;
+  std::string isa, backend, bwd, upd, ulo;
   long vlen = 0, threads = 0, rbp = 0, rbq = 0, b1rbq = 0, gqc = 0, ubp = 0,
-       ubq = 0;
+       ubq = 0, urun = 0;
   if (!str("isa", &isa) || !isa_from_name(isa, &plan.isa))
     return PlanLoadStatus::corrupt;
   if (!num("vlen", &vlen) || !num("threads", &threads))
@@ -455,16 +507,20 @@ PlanLoadStatus plan_from_json(const std::string& text, const PlanKey& expect,
   if (!boolean("use_streams", &plan.use_streams) ||
       !boolean("prefetch", &plan.prefetch) ||
       !boolean("cb_in_kernel", &plan.cb_in_kernel) ||
+      !boolean("upd_reduce_jit", &plan.upd_reduce_jit) ||
       !boolean("tuned", &plan.tuned))
     return PlanLoadStatus::corrupt;
   if (!num("rbp", &rbp) || !num("rbq", &rbq) || !num("bwd1x1_rbq", &b1rbq) ||
       !num("bwd_gemm_qc", &gqc) || !num("upd_bp", &ubp) ||
-      !num("upd_bq", &ubq))
+      !num("upd_bq", &ubq) || !num("upd_reduce_unroll", &urun))
     return PlanLoadStatus::corrupt;
   if (!str("bwd_algo", &bwd) || !bwd_algo_from_name(bwd, &plan.bwd_algo))
     return PlanLoadStatus::corrupt;
   if (!str("upd_strategy", &upd) ||
       !upd_strategy_from_name(upd, &plan.upd_strategy))
+    return PlanLoadStatus::corrupt;
+  if (!str("upd_loop_order", &ulo) ||
+      !upd_loop_order_from_name(ulo, &plan.upd_loop_order))
     return PlanLoadStatus::corrupt;
   plan.vlen = static_cast<int>(vlen);
   plan.threads = static_cast<int>(threads);
@@ -474,6 +530,7 @@ PlanLoadStatus plan_from_json(const std::string& text, const PlanKey& expect,
   plan.bwd_gemm_qc = static_cast<int>(gqc);
   plan.upd_bp = static_cast<int>(ubp);
   plan.upd_bq = static_cast<int>(ubq);
+  plan.upd_reduce_unroll = static_cast<int>(urun);
 
   // The entry's execution identity must agree with the key it claims.
   if (plan.isa != expect.isa || plan.vlen != expect.vlen ||

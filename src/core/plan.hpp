@@ -89,6 +89,15 @@ inline constexpr int kHybridTaskDivisor = 2;
 /// Minibatch/hybrid schemes need >= 2 images to split across copies.
 inline constexpr int kUpdMinMinibatch = 2;
 
+/// Update loop-order traffic model: pixel_outer re-touches the whole dW
+/// working set once per pixel block unless it stays cache-resident; this is
+/// the per-core L2 budget (bytes) below which that re-touching is free.
+inline constexpr std::int64_t kUpdLoopOrderL2Budget = std::int64_t{1} << 20;
+
+/// Default reduce-epilogue chunk unroll (vectors per generated-kernel
+/// iteration); autotune may pick any value in [1, 8].
+inline constexpr int kUpdReduceUnrollDefault = 4;
+
 // ---------------------------------------------------------------------------
 // Plan value type
 // ---------------------------------------------------------------------------
@@ -101,6 +110,15 @@ const char* bwd_algo_name(BwdAlgo a);
 /// duality's internal dual layer, inference), `train` for all three passes.
 enum class PlanPass { fwd, train };
 const char* plan_pass_name(PlanPass pass);
+
+/// Weight-update driver loop order (Section II-J). `task_outer` walks each
+/// dW task's full pixel space (maximal dW register/cache residency);
+/// `pixel_outer` walks pixel blocks outermost and sweeps all tasks per block
+/// (activations stay cache-resident across the task sweep). Both orders
+/// accumulate each dW block's contributions in identical (n, pjb, qib)
+/// sequence, so they are bitwise-equivalent.
+enum class UpdLoopOrder { task_outer, pixel_outer };
+const char* upd_loop_order_name(UpdLoopOrder o);
 
 struct PlanKey;
 
@@ -131,6 +149,13 @@ struct ConvPlan {
   // auto_pick) in a materialized plan.
   UpdStrategy upd_strategy = UpdStrategy::task;
   int upd_bp = 0, upd_bq = 0;  ///< pixel blocking (0 for pass=fwd plans)
+  /// Driver loop order (see UpdLoopOrder; heuristic in plan_default).
+  UpdLoopOrder upd_loop_order = UpdLoopOrder::task_outer;
+  /// Replay/run the privatized-dW reduce epilogue through a generated
+  /// kernel (bitwise-identical to the scalar loop; off = always scalar).
+  bool upd_reduce_jit = true;
+  /// Reduce-kernel chunk unroll: vectors per generated iteration, in [1, 8].
+  int upd_reduce_unroll = kUpdReduceUnrollDefault;
 
   /// Provenance: true when the plan came out of an autotune search rather
   /// than the closed-form default heuristics.
@@ -227,7 +252,7 @@ ConvPlan resolve_plan(const ConvParams& p, const PlanRequest& req,
 /// Bump whenever the serialized field set changes; the lint rule
 /// `plan-schema` (tools/lint/xconv_lint.py) locks fields x version against
 /// tools/lint/plan_schema.json.
-inline constexpr int kPlanSchemaVersion = 1;
+inline constexpr int kPlanSchemaVersion = 2;
 
 enum class PlanLoadStatus {
   ok,

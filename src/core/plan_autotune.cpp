@@ -216,7 +216,10 @@ AutotuneResult autotune_plan(const ConvParams& p, const PlanRequest& req,
       const double s = measure_upd(layer, in, dout, dw, cfg);
       ++result.candidates_tried;
       if (cand.upd_bp == base.upd_bp && cand.upd_bq == base.upd_bq &&
-          cand.upd_strategy == base.upd_strategy)
+          cand.upd_strategy == base.upd_strategy &&
+          cand.upd_loop_order == base.upd_loop_order &&
+          cand.upd_reduce_jit == base.upd_reduce_jit &&
+          cand.upd_reduce_unroll == base.upd_reduce_unroll)
         default_s = s;
       if (best_s == 0 || s < best_s) {
         best_s = s;
@@ -242,6 +245,36 @@ AutotuneResult autotune_plan(const ConvParams& p, const PlanRequest& req,
       ConvPlan cand = at_best;
       cand.upd_strategy = st;
       try_candidate(cand);
+    }
+    // Loop-order sweep at the winning configuration (the heuristic pick was
+    // already timed as part of the candidates above).
+    {
+      const ConvPlan lo_base = best;
+      for (const UpdLoopOrder lo :
+           {UpdLoopOrder::task_outer, UpdLoopOrder::pixel_outer}) {
+        if (lo == lo_base.upd_loop_order) continue;
+        ConvPlan cand = lo_base;
+        cand.upd_loop_order = lo;
+        try_candidate(cand);
+      }
+    }
+    // Reduce-epilogue axes only matter when the winner privatizes dW
+    // (minibatch/hybrid): toggle the generated kernel and sweep its unroll.
+    if (best.upd_strategy != UpdStrategy::task && rq.threads >= 2) {
+      const ConvPlan red_base = best;
+      {
+        ConvPlan cand = red_base;
+        cand.upd_reduce_jit = !red_base.upd_reduce_jit;
+        try_candidate(cand);
+      }
+      if (red_base.upd_reduce_jit) {
+        for (const int u : {1, 2, 8}) {
+          if (u == red_base.upd_reduce_unroll) continue;
+          ConvPlan cand = red_base;
+          cand.upd_reduce_unroll = u;
+          try_candidate(cand);
+        }
+      }
     }
     result.plan = best;
     result.default_upd_gflops = default_s > 0 ? gflop / default_s : 0;

@@ -113,7 +113,8 @@ void KernelStream::replay(
 void KernelStream::replay_upd(
     const std::vector<const kernels::UpdMicrokernel*>& variants,
     const float* in_base, const float* dout_base, float* dw_base,
-    const float* red_src, float* red_dst) const {
+    const float* red_src, float* red_dst,
+    const kernels::ReduceMicrokernel* reduce_kernel) const {
   if (!finished_) throw std::logic_error("KernelStream: replay before finish");
   const std::size_t total = var_.size();
   std::size_t i = 0;
@@ -136,8 +137,16 @@ void KernelStream::replay_upd(
       }
       case SegmentType::reduce: {
         // Same summation order as the branchy reduction: copy 0 first, then
-        // copies 1..C-1 in order — bit-identical accumulation.
+        // copies 1..C-1 in order — bit-identical accumulation. The generated
+        // kernel keeps that exact per-element copy order, so replaying a
+        // matching record through it changes no bits.
         const ReduceRecord& r = reduces_[seg.info];
+        if (reduce_kernel != nullptr &&
+            reduce_kernel->desc().copies == r.copies &&
+            reduce_kernel->desc().copy_stride == r.copy_stride) {
+          reduce_kernel->run(red_src + r.begin, red_dst + r.begin, r.count);
+          break;
+        }
         for (std::int64_t e = r.begin; e < r.begin + r.count; ++e) {
           float acc = red_src[e];
           for (std::int32_t c = 1; c < r.copies; ++c)

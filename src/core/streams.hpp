@@ -100,9 +100,15 @@ class KernelStream {
   /// privatized-copy arena and the final dW tensor for REDUCE records.
   /// BARRIER records bind to the innermost enclosing OpenMP parallel region
   /// (a no-op when replayed serially). Throws on conv-family records.
+  /// `reduce_kernel`, when non-null and matching a REDUCE record's
+  /// copies/copy_stride, replays that record through generated code
+  /// (bit-identical to the interpreted loop); mismatching or null falls back
+  /// to the interpreted loop.
   void replay_upd(const std::vector<const kernels::UpdMicrokernel*>& variants,
                   const float* in_base, const float* dout_base, float* dw_base,
-                  const float* red_src, float* red_dst) const;
+                  const float* red_src, float* red_dst,
+                  const kernels::ReduceMicrokernel* reduce_kernel =
+                      nullptr) const;
 
   /// Introspection ---------------------------------------------------------
   std::size_t n_calls() const { return var_.size(); }

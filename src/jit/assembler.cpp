@@ -7,8 +7,10 @@ namespace xconv::jit {
 namespace {
 constexpr int kMap0F = 1;
 constexpr int kMap0F38 = 2;
+constexpr int kMap0F3A = 3;
 constexpr int kPpNone = 0;
 constexpr int kPp66 = 1;
+constexpr int kPpF3 = 2;
 
 int lo3(Gpr r) { return static_cast<int>(r) & 7; }
 int hi1(Gpr r) { return (static_cast<int>(r) >> 3) & 1; }
@@ -75,7 +77,8 @@ void Assembler::vex3_rr(int reg, int rm, int vvvv, int map, int pp, bool w,
 }
 
 void Assembler::evex(int reg, Mem m, int vvvv, int map, int pp, bool w,
-                     bool bcast, int /*disp8_scale: applied in modrm*/) {
+                     bool bcast, int /*disp8_scale: applied in modrm*/,
+                     int aaa) {
   buf_.emit8(0x62);
   const int b = hi1(m.base);
   // P0: ~R ~X ~B ~R' 0 0 mm
@@ -86,12 +89,13 @@ void Assembler::evex(int reg, Mem m, int vvvv, int map, int pp, bool w,
   buf_.emit8(static_cast<std::uint8_t>(((w ? 1 : 0) << 7) |
                                        ((~vvvv & 0xf) << 3) | (1 << 2) |
                                        (pp & 3)));
-  // P2: z L'L b ~V' aaa  — L'L = 10 (512-bit), z = 0, aaa = 0.
+  // P2: z L'L b ~V' aaa  — L'L = 10 (512-bit), z = 0 (merge masking).
   buf_.emit8(static_cast<std::uint8_t>((2 << 5) | ((bcast ? 1 : 0) << 4) |
-                                       ((~(vvvv >> 4) & 1) << 3)));
+                                       ((~(vvvv >> 4) & 1) << 3) | (aaa & 7)));
 }
 
-void Assembler::evex_rr(int reg, int rm, int vvvv, int map, int pp, bool w) {
+void Assembler::evex_rr(int reg, int rm, int vvvv, int map, int pp, bool w,
+                        int aaa) {
   buf_.emit8(0x62);
   buf_.emit8(static_cast<std::uint8_t>(((~(reg >> 3) & 1) << 7) |
                                        ((~(rm >> 4) & 1) << 6) |
@@ -100,7 +104,8 @@ void Assembler::evex_rr(int reg, int rm, int vvvv, int map, int pp, bool w) {
   buf_.emit8(static_cast<std::uint8_t>(((w ? 1 : 0) << 7) |
                                        ((~vvvv & 0xf) << 3) | (1 << 2) |
                                        (pp & 3)));
-  buf_.emit8(static_cast<std::uint8_t>((2 << 5) | ((~(vvvv >> 4) & 1) << 3)));
+  buf_.emit8(static_cast<std::uint8_t>((2 << 5) | ((~(vvvv >> 4) & 1) << 3) |
+                                       (aaa & 7)));
 }
 
 // Shared emitters: pick VEX.256 or EVEX.512 and append modrm/disp.
@@ -267,6 +272,140 @@ void Assembler::vaddps(VecWidth w, Vec dst, Vec a, Vec b) {
 
 void Assembler::vaddps_mem(VecWidth w, Vec dst, Vec a, Mem b) {
   vop_mem(w, 0x58, kMap0F, kPpNone, dst, a, b, false);
+}
+
+void Assembler::vminps(VecWidth w, Vec dst, Vec a, Vec b) {
+  vop_rr(w, 0x5D, kMap0F, kPpNone, dst, a, b);
+}
+
+void Assembler::vsubps(VecWidth w, Vec dst, Vec a, Vec b) {
+  vop_rr(w, 0x5C, kMap0F, kPpNone, dst, a, b);
+}
+
+void Assembler::vmulps(VecWidth w, Vec dst, Vec a, Vec b) {
+  vop_rr(w, 0x59, kMap0F, kPpNone, dst, a, b);
+}
+
+void Assembler::vdivps(VecWidth w, Vec dst, Vec a, Vec b) {
+  vop_rr(w, 0x5E, kMap0F, kPpNone, dst, a, b);
+}
+
+// --- AVX-512 integer / mask / pack (codec kernels) ---------------------------
+
+void Assembler::vcvtps2dq(Vec dst, Vec src) {
+  // EVEX.512.66.0F.W0 5B /r — rounds per MXCSR (RNE by default).
+  vop_rr(VecWidth::zmm512, 0x5B, kMap0F, kPp66, dst, Vec{0}, src);
+}
+
+void Assembler::vpaddd(Vec dst, Vec a, Vec b) {
+  vop_rr(VecWidth::zmm512, 0xFE, kMap0F, kPp66, dst, a, b);
+}
+
+void Assembler::vpaddd_bcast(Vec dst, Vec a, Mem b) {
+  vop_mem(VecWidth::zmm512, 0xFE, kMap0F, kPp66, dst, a, b, /*bcast=*/true);
+}
+
+void Assembler::vpandd_bcast(Vec dst, Vec a, Mem b) {
+  vop_mem(VecWidth::zmm512, 0xDB, kMap0F, kPp66, dst, a, b, /*bcast=*/true);
+}
+
+void Assembler::vpord_bcast(Vec dst, Vec a, Mem b) {
+  vop_mem(VecWidth::zmm512, 0xEB, kMap0F, kPp66, dst, a, b, /*bcast=*/true);
+}
+
+void Assembler::vpminud_bcast(Vec dst, Vec a, Mem b) {
+  vop_mem(VecWidth::zmm512, 0x3B, kMap0F38, kPp66, dst, a, b, /*bcast=*/true);
+}
+
+// vpsrld/vpslld by immediate are EVEX "NDD" forms: modrm.reg is the opcode
+// extension (/2 shift right, /6 shift left), modrm.rm is the source and
+// EVEX.vvvv names the *destination*.
+void Assembler::vpsrld_i(Vec dst, Vec src, int imm) {
+  evex_rr(/*reg=*/2, src.id, dst.id, kMap0F, kPp66, /*w=*/false);
+  buf_.emit8(0x72);
+  buf_.emit8(static_cast<std::uint8_t>(0xC0 | (2 << 3) | (src.id & 7)));
+  buf_.emit8(static_cast<std::uint8_t>(imm));
+}
+
+void Assembler::vpslld_i(Vec dst, Vec src, int imm) {
+  evex_rr(/*reg=*/6, src.id, dst.id, kMap0F, kPp66, /*w=*/false);
+  buf_.emit8(0x72);
+  buf_.emit8(static_cast<std::uint8_t>(0xC0 | (6 << 3) | (src.id & 7)));
+  buf_.emit8(static_cast<std::uint8_t>(imm));
+}
+
+void Assembler::vpmovdw_store(Mem dst, Vec src) {
+  // EVEX.512.F3.0F38.W0 33 /r, mem form — HalfMem tuple, N = 32.
+  evex(src.id, dst, 0, kMap0F38, kPpF3, /*w=*/false, /*bcast=*/false, 32);
+  buf_.emit8(0x33);
+  modrm_mem(src.id, dst, 32);
+}
+
+void Assembler::vpmovsxwd_load(Vec dst, Mem src) {
+  // EVEX.512.66.0F38.W0 23 /r — HalfMem tuple, N = 32.
+  evex(dst.id, src, 0, kMap0F38, kPp66, /*w=*/false, /*bcast=*/false, 32);
+  buf_.emit8(0x23);
+  modrm_mem(dst.id, src, 32);
+}
+
+void Assembler::vpmovzxwd_load(Vec dst, Mem src) {
+  // EVEX.512.66.0F38.W0 33 /r — same opcode as vpmovdw, distinguished by pp.
+  evex(dst.id, src, 0, kMap0F38, kPp66, /*w=*/false, /*bcast=*/false, 32);
+  buf_.emit8(0x33);
+  modrm_mem(dst.id, src, 32);
+}
+
+void Assembler::vpcmpud(int k, Vec a, Vec b, int imm) {
+  // EVEX.512.66.0F3A.W0 1E /r ib — mask destination in modrm.reg.
+  evex_rr(k, b.id, a.id, kMap0F3A, kPp66, /*w=*/false);
+  buf_.emit8(0x1E);
+  buf_.emit8(static_cast<std::uint8_t>(0xC0 | ((k & 7) << 3) | (b.id & 7)));
+  buf_.emit8(static_cast<std::uint8_t>(imm));
+}
+
+void Assembler::vpcmpud_bcast(int k, Vec a, Mem b, int imm) {
+  evex(k, b, a.id, kMap0F3A, kPp66, /*w=*/false, /*bcast=*/true, 4);
+  buf_.emit8(0x1E);
+  modrm_mem(k, b, 4);
+  buf_.emit8(static_cast<std::uint8_t>(imm));
+}
+
+void Assembler::vmovdqa32_merge(Vec dst, int k, Vec src) {
+  // EVEX.512.66.0F.W0 6F /r with aaa = k, z = 0: masked-out lanes keep dst.
+  evex_rr(dst.id, src.id, 0, kMap0F, kPp66, /*w=*/false, /*aaa=*/k);
+  buf_.emit8(0x6F);
+  buf_.emit8(static_cast<std::uint8_t>(0xC0 | ((dst.id & 7) << 3) |
+                                       (src.id & 7)));
+}
+
+void Assembler::vpcompressd_store(Mem dst, int k, Vec src) {
+  // EVEX.512.66.0F38.W0 8B /r mem{k} — Tuple1-Scalar, N = 4.
+  evex(src.id, dst, 0, kMap0F38, kPp66, /*w=*/false, /*bcast=*/false, 4, k);
+  buf_.emit8(0x8B);
+  modrm_mem(src.id, dst, 4);
+}
+
+void Assembler::kmovw_rk(Gpr dst, int k) {
+  // VEX.L0.0F.W0 93 /r — zero-extends the 16-bit mask into a GPR.
+  vex3_rr(static_cast<int>(dst), k, 0, kMap0F, kPpNone, /*w=*/false,
+          /*l256=*/false);
+  buf_.emit8(0x93);
+  buf_.emit8(static_cast<std::uint8_t>(0xC0 | (lo3(dst) << 3) | (k & 7)));
+}
+
+void Assembler::popcnt64(Gpr dst, Gpr src) {
+  buf_.emit8(0xF3);
+  rex(true, static_cast<int>(dst), 0, static_cast<int>(src));
+  buf_.emit8(0x0F);
+  buf_.emit8(0xB8);
+  buf_.emit8(static_cast<std::uint8_t>(0xC0 | (lo3(dst) << 3) | lo3(src)));
+}
+
+void Assembler::shl_ri(Gpr r, int imm) {
+  rex(true, 0, 0, static_cast<int>(r));
+  buf_.emit8(0xC1);
+  buf_.emit8(static_cast<std::uint8_t>(0xC0 | (4 << 3) | lo3(r)));
+  buf_.emit8(static_cast<std::uint8_t>(imm));
 }
 
 void Assembler::vpdpwssd_mem(Vec dst, Vec a, Mem b) {

@@ -8,6 +8,10 @@
 //     memory operand), vxorps, vmaxps, vaddps — in VEX.256 (AVX2) and
 //     EVEX.512 (AVX-512) forms.
 //   * AVX512-VNNI: vpdpwssd (int16 pair dot-product accumulate).
+//   * AVX-512 integer/mask/pack subset for the codec kernels: vcvtps2dq,
+//     vpaddd/vpandd/vpord/vpminud, immediate shifts, vpmovdw/vpmovsxwd/
+//     vpmovzxwd i16<->i32 packs, vpcmpud->k compares, merge-masked moves,
+//     vpcompressd compress-stores, kmovw, popcnt.
 //   * prefetcht0/t1 (the two-level prefetch of Section II-E).
 //
 // Memory operands are always [base + disp32] with JIT-time-constant
@@ -80,8 +84,43 @@ class Assembler {
   void vfmadd231ps_bcast(VecWidth w, Vec dst, Vec a, Mem b);
   void vxorps(VecWidth w, Vec dst, Vec a, Vec b);
   void vmaxps(VecWidth w, Vec dst, Vec a, Vec b);
+  void vminps(VecWidth w, Vec dst, Vec a, Vec b);
   void vaddps(VecWidth w, Vec dst, Vec a, Vec b);
   void vaddps_mem(VecWidth w, Vec dst, Vec a, Mem b);
+  void vsubps(VecWidth w, Vec dst, Vec a, Vec b);
+  void vmulps(VecWidth w, Vec dst, Vec a, Vec b);
+  void vdivps(VecWidth w, Vec dst, Vec a, Vec b);
+
+  // --- AVX-512 integer / mask / pack (codec kernels; zmm512 only) -------------
+  /// dst(i32) = cvt_rne(src(fp32)) — rounding follows MXCSR (RNE by default),
+  /// exactly like scalar nearbyintf.
+  void vcvtps2dq(Vec dst, Vec src);
+  void vpaddd(Vec dst, Vec a, Vec b);
+  void vpaddd_bcast(Vec dst, Vec a, Mem b);
+  void vpandd_bcast(Vec dst, Vec a, Mem b);
+  void vpord_bcast(Vec dst, Vec a, Mem b);
+  void vpminud_bcast(Vec dst, Vec a, Mem b);
+  void vpsrld_i(Vec dst, Vec src, int imm);
+  void vpslld_i(Vec dst, Vec src, int imm);
+  /// Truncating i32 -> i16 pack: stores the low 16 bits of each of the 16
+  /// lanes of `src` as 32 contiguous bytes at `dst`.
+  void vpmovdw_store(Mem dst, Vec src);
+  /// 16 x i16 (32 bytes) -> sign-extended i32 lanes.
+  void vpmovsxwd_load(Vec dst, Mem src);
+  /// 16 x u16 (32 bytes) -> zero-extended i32 lanes.
+  void vpmovzxwd_load(Vec dst, Mem src);
+  /// k = per-lane unsigned i32 compare (imm predicate: 0=eq,1=lt,2=le,4=ne,
+  /// 5=nlt(ge),6=nle(gt)).
+  void vpcmpud(int k, Vec a, Vec b, int imm);
+  void vpcmpud_bcast(int k, Vec a, Mem b, int imm);
+  /// dst{k} = src — merge-masked full-register move (lanes with k=0 keep dst).
+  void vmovdqa32_merge(Vec dst, int k, Vec src);
+  /// Compress-store the k-selected i32 lanes of src contiguously at dst.
+  void vpcompressd_store(Mem dst, int k, Vec src);
+  /// dst(gpr) = zero-extended 16-bit mask register k.
+  void kmovw_rk(Gpr dst, int k);
+  void popcnt64(Gpr dst, Gpr src);
+  void shl_ri(Gpr r, int imm);
 
   // --- AVX512-VNNI ------------------------------------------------------------
   /// dst(i32) += dot2(a(i16 pairs), [mem](i16 pairs)); zmm512 only.
@@ -103,8 +142,9 @@ class Assembler {
   void vex3(int reg, Mem m, int vvvv, int map, int pp, bool w, bool l256);
   void vex3_rr(int reg, int rm, int vvvv, int map, int pp, bool w, bool l256);
   void evex(int reg, Mem m, int vvvv, int map, int pp, bool w, bool bcast,
-            int disp8_scale);
-  void evex_rr(int reg, int rm, int vvvv, int map, int pp, bool w);
+            int disp8_scale, int aaa = 0);
+  void evex_rr(int reg, int rm, int vvvv, int map, int pp, bool w,
+               int aaa = 0);
 
   void vop_mem(VecWidth w, std::uint8_t opcode, int map, int pp, Vec reg,
                Vec vvvv, Mem m, bool bcast, int disp8_scale = 0);

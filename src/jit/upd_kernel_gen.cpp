@@ -27,6 +27,8 @@ void UpdKernelDesc::validate() const {
     throw std::invalid_argument("UpdKernelDesc: bq unroll too large");
   if (in_row_stride <= 0 || out_row_stride <= 0)
     throw std::invalid_argument("UpdKernelDesc: missing row strides");
+  if (cmin < 0 || cmin >= vlen)
+    throw std::invalid_argument("UpdKernelDesc: cmin out of [0, vlen)");
 }
 
 std::string UpdKernelDesc::key() const {
@@ -35,6 +37,7 @@ std::string UpdKernelDesc::key() const {
      << bq << "/st" << stride_h << "x" << stride_w << "/irs" << in_row_stride
      << "/ors" << out_row_stride << (beta0 ? "/b0" : "/b1")
      << (prefetch ? "/pf" : "");
+  if (cmin > 0) os << "/cm" << cmin;
   return os.str();
 }
 
@@ -47,8 +50,9 @@ std::unique_ptr<UpdKernel> generate_upd_kernel(const UpdKernelDesc& d) {
   const VecWidth vw = z ? VecWidth::zmm512 : VecWidth::ymm256;
   // Accumulators: one vector per input-channel row of the dW block. AVX-512
   // holds all 16 in zmm0..15 with dO vectors rotating in zmm28..31. AVX2
-  // holds 8 in ymm0..7, dO in ymm13..15, broadcast scratch ymm12.
-  const int n_acc = d.vlen;
+  // holds 8 in ymm0..7, dO in ymm13..15, broadcast scratch ymm12. The
+  // channel-remainder variant (cmin > 0) touches only the first cmin rows.
+  const int n_acc = d.cmin > 0 ? d.cmin : d.vlen;
   const int first_do = z ? 28 : 13;
   const int n_do = 3;
   const Vec bcst{12};
@@ -60,8 +64,11 @@ std::unique_ptr<UpdKernel> generate_upd_kernel(const UpdKernelDesc& d) {
   Assembler as(buf);
 
   // dW block layout: row c (input channel), lane k — row stride = vlen.
+  // beta0 zeroes and stores every row (pad rows of a channel-remainder block
+  // become +0 and stay that way); beta1 only touches the real cmin rows.
+  const int n_store = d.beta0 ? d.vlen : n_acc;
   if (d.beta0) {
-    for (int c = 0; c < n_acc; ++c)
+    for (int c = 0; c < n_store; ++c)
       as.vxorps(vw, Vec{c}, Vec{c}, Vec{c});
   } else {
     for (int c = 0; c < n_acc; ++c)
@@ -106,12 +113,83 @@ std::unique_ptr<UpdKernel> generate_upd_kernel(const UpdKernelDesc& d) {
     emit_row();
   }
 
-  for (int c = 0; c < n_acc; ++c)
+  for (int c = 0; c < n_store; ++c)
     as.vmovups_store(vw, Mem{kDw, c * d.vlen * 4}, Vec{c});
   as.ret();
 
   buf.finalize();
   return std::make_unique<UpdKernel>(d, std::move(buf));
+}
+
+// --- dW-privatization reduce epilogue ---------------------------------------
+
+void ReduceKernelDesc::validate() const {
+  using platform::Isa;
+  if (isa != Isa::avx2 && isa != Isa::avx512 && isa != Isa::avx512_vnni)
+    throw std::invalid_argument("ReduceKernelDesc: requires avx2 or avx512");
+  const int want_vlen = (isa == Isa::avx2) ? 8 : 16;
+  if (vlen != want_vlen)
+    throw std::invalid_argument("ReduceKernelDesc: vlen inconsistent with isa");
+  if (copies < 2)
+    throw std::invalid_argument("ReduceKernelDesc: needs >= 2 copies");
+  if (unroll < 1 || unroll > 8)
+    throw std::invalid_argument("ReduceKernelDesc: unroll out of [1, 8]");
+  if (copy_stride < vlen)
+    throw std::invalid_argument("ReduceKernelDesc: copy_stride < vlen");
+  // Every copy's lane is addressed as [src + disp32]: the farthest byte
+  // touched in one iteration must stay below 2^31.
+  const std::int64_t top = (static_cast<std::int64_t>(copies - 1) *
+                                copy_stride +
+                            static_cast<std::int64_t>(unroll) * vlen) *
+                           4;
+  if (top > INT32_MAX)
+    throw std::invalid_argument("ReduceKernelDesc: copy span exceeds disp32");
+}
+
+std::string ReduceKernelDesc::key() const {
+  std::ostringstream os;
+  os << "red/" << platform::isa_name(isa) << "/v" << vlen << "/c" << copies
+     << "/cs" << copy_stride << "/u" << unroll;
+  return os.str();
+}
+
+ReduceKernel::ReduceKernel(ReduceKernelDesc desc, CodeBuffer buf)
+    : desc_(desc), buf_(std::move(buf)), fn_(buf_.entry<reduce_fn>()) {}
+
+std::unique_ptr<ReduceKernel> generate_reduce_kernel(
+    const ReduceKernelDesc& d) {
+  d.validate();
+  const bool z = (d.isa != platform::Isa::avx2);
+  const VecWidth vw = z ? VecWidth::zmm512 : VecWidth::ymm256;
+  const int vb = d.vlen * 4;
+
+  const std::size_t cap =
+      1024 + static_cast<std::size_t>(d.unroll) * (d.copies + 2) * 16 + 256;
+  CodeBuffer buf(cap);
+  Assembler as(buf);
+
+  // rdi = src (copy 0 at the chunk base), rsi = dst, rdx = iters (>= 1).
+  const Gpr src = Gpr::rdi, dst = Gpr::rsi, iters = Gpr::rdx;
+  const std::size_t top = as.here();
+  for (int j = 0; j < d.unroll; ++j)
+    as.vmovups_load(vw, Vec{j}, Mem{src, j * vb});
+  for (int c = 1; c < d.copies; ++c) {
+    const std::int64_t base = static_cast<std::int64_t>(c) * d.copy_stride * 4;
+    for (int j = 0; j < d.unroll; ++j)
+      as.vaddps_mem(vw, Vec{j}, Vec{j},
+                    Mem{src, static_cast<std::int32_t>(base + j * vb)});
+  }
+  for (int j = 0; j < d.unroll; ++j)
+    as.vmovups_store(vw, Mem{dst, j * vb}, Vec{j});
+  as.add_ri(src, d.unroll * vb);
+  as.add_ri(dst, d.unroll * vb);
+  as.sub_ri(iters, 1);
+  as.cmp_ri(iters, 0);
+  as.jcc_back(Cond::g, top);
+  as.ret();
+
+  buf.finalize();
+  return std::make_unique<ReduceKernel>(d, std::move(buf));
 }
 
 }  // namespace xconv::jit

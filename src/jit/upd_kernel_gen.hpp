@@ -37,6 +37,12 @@ struct UpdKernelDesc {
   int stride_h = 1, stride_w = 1;
   int in_row_stride = 0;   ///< input elements between rows (Wp * vlen)
   int out_row_stride = 0;  ///< dO elements between rows (Q * vlen)
+  /// Real input-channel rows in the dW block (0 = all vlen). The channel-
+  /// remainder edge variant for C % vlen != 0: FMA work drops to cmin rows.
+  /// Pad lanes of the blocked input are zero, so skipping their +0
+  /// contributions is bitwise-identical to accumulating them; beta0 still
+  /// zeroes all vlen rows of the stored block, beta1 leaves them untouched.
+  int cmin = 0;
   bool beta0 = false;
   bool prefetch = true;
 
@@ -64,5 +70,42 @@ class UpdKernel {
 };
 
 std::unique_ptr<UpdKernel> generate_upd_kernel(const UpdKernelDesc& desc);
+
+/// Descriptor for the dW-privatization reduce epilogue kernel: one linear
+/// sweep that sums `copies` private dW copies, laid out `copy_stride`
+/// elements apart, into the destination. The per-element addition order is
+/// copy 0, 1, ..., copies-1 — identical to the scalar reference loop in the
+/// update driver, so the generated kernel is bitwise-equal by construction
+/// (vaddps lanes are independent scalar adds).
+struct ReduceKernelDesc {
+  platform::Isa isa = platform::Isa::avx512;
+  int vlen = 16;
+  int copies = 2;                ///< private copies summed (>= 2)
+  std::int64_t copy_stride = 0;  ///< elements between consecutive copies
+  int unroll = 4;                ///< vectors per generated loop iteration
+
+  std::string key() const;
+  void validate() const;
+};
+
+class ReduceKernel {
+ public:
+  ReduceKernel(ReduceKernelDesc desc, CodeBuffer buf);
+
+  void operator()(const float* src, float* dst, std::int64_t iters) const {
+    fn_(src, dst, iters);
+  }
+  reduce_fn fn() const { return fn_; }
+  const ReduceKernelDesc& desc() const { return desc_; }
+  std::size_t code_size() const { return buf_.size(); }
+
+ private:
+  ReduceKernelDesc desc_;
+  CodeBuffer buf_;
+  reduce_fn fn_;
+};
+
+std::unique_ptr<ReduceKernel> generate_reduce_kernel(
+    const ReduceKernelDesc& desc);
 
 }  // namespace xconv::jit

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "platform/envparse.hpp"
+#include "quant/quantize.hpp"
 
 namespace xconv::kernels {
 
@@ -37,6 +38,87 @@ class JitUpdKernel final : public UpdMicrokernel {
 
  private:
   std::unique_ptr<jit::UpdKernel> k_;
+};
+
+class JitReduceKernel final : public ReduceMicrokernel {
+ public:
+  explicit JitReduceKernel(const jit::ReduceKernelDesc& d)
+      : ReduceMicrokernel(d), k_(jit::generate_reduce_kernel(d)) {}
+
+  void run(const float* src, float* dst, std::int64_t n) const override {
+    const auto& d = desc_;
+    const std::int64_t chunk = static_cast<std::int64_t>(d.unroll) * d.vlen;
+    const std::int64_t nv = n / chunk;
+    if (nv > 0) (*k_)(src, dst, nv);
+    // Sub-chunk tail: the scalar loop, same copy order — fp addition is
+    // associativity-sensitive but the order here is identical.
+    for (std::int64_t e = nv * chunk; e < n; ++e) {
+      float acc = src[e];
+      for (int c = 1; c < d.copies; ++c) acc += src[d.copy_stride * c + e];
+      dst[e] = acc;
+    }
+  }
+  Backend backend() const override { return Backend::jit; }
+
+ private:
+  std::unique_ptr<jit::ReduceKernel> k_;
+};
+
+class JitCodecKernel final : public CodecMicrokernel {
+ public:
+  explicit JitCodecKernel(const jit::CodecKernelDesc& d)
+      : CodecMicrokernel(d), k_(jit::generate_codec_kernel(d)) {}
+
+  std::int64_t run(const CodecCall& call) const override {
+    const std::int64_t nv = call.n / desc_.vlen;
+    const std::int64_t head = nv * desc_.vlen;
+    const std::int64_t pos = nv > 0 ? dispatch(call, nv) : 0;
+    return codec_scalar_span(desc_, call, head, call.n, pos);
+  }
+  Backend backend() const override { return Backend::jit; }
+
+ private:
+  // Build the op's params block (see codec_kernel_gen.hpp table) and route
+  // the CodecCall pointers into the (a, b, c) ABI slots.
+  std::int64_t dispatch(const CodecCall& call, std::int64_t nv) const {
+    switch (desc_.op) {
+      case jit::CodecOp::fold_add:
+        return (*k_)(call.f_in, call.f_io, nullptr, nv, nullptr);
+      case jit::CodecOp::int16_quant: {
+        const float params[3] = {call.scale,
+                                 static_cast<float>(quant::kQMax),
+                                 -static_cast<float>(quant::kQMax)};
+        return (*k_)(call.f_io, call.w_out, nullptr, nv, params);
+      }
+      case jit::CodecOp::int16_dequant:
+      case jit::CodecOp::int16_dequant_acc: {
+        const float params[1] = {call.scale};
+        return (*k_)(call.w_in, call.f_io, nullptr, nv, params);
+      }
+      case jit::CodecOp::bf16_pack: {
+        static constexpr std::uint32_t params[6] = {
+            0x7fffffffu, 0x7f800000u, 1u, 0x7fffu, 0x400000u, 0xffff0000u};
+        return (*k_)(call.f_in, call.f_io, call.w_out, nv, params);
+      }
+      case jit::CodecOp::bf16_unpack:
+      case jit::CodecOp::bf16_unpack_acc:
+        return (*k_)(call.w_in, call.f_io, nullptr, nv, nullptr);
+      case jit::CodecOp::topk_mag: {
+        static constexpr std::uint32_t params[2] = {0x7fffffffu, 0x7f800000u};
+        return (*k_)(call.f_in, call.u_out, nullptr, nv, params);
+      }
+      case jit::CodecOp::topk_compress: {
+        std::uint32_t params[18];
+        params[0] = call.threshold;
+        for (std::uint32_t i = 0; i < 16; ++i) params[1 + i] = i;
+        params[17] = 16;
+        return (*k_)(call.u_in, call.u_out, nullptr, nv, params);
+      }
+    }
+    return 0;
+  }
+
+  std::unique_ptr<jit::CodecKernel> k_;
 };
 
 bool isa_is_simd(platform::Isa isa) {
@@ -92,6 +174,46 @@ std::unique_ptr<UpdMicrokernel> build_upd(const jit::UpdKernelDesc& d,
   }
   if (simd_ok) return std::make_unique<JitUpdKernel>(d);
   return make_upd_scalar(d);
+}
+
+std::unique_ptr<ReduceMicrokernel> build_reduce(const jit::ReduceKernelDesc& d,
+                                                BackendPref pref) {
+  const bool simd_ok = isa_is_simd(d.isa) && host_supports(d.isa);
+  switch (pref) {
+    case BackendPref::jit:
+      if (!simd_ok)
+        throw std::invalid_argument("JIT backend needs a SIMD ISA the host supports");
+      return make_reduce_jit(d);
+    case BackendPref::compiled:
+    case BackendPref::scalar:
+      return make_reduce_scalar(d);
+    case BackendPref::auto_pick:
+      break;
+  }
+  if (simd_ok) return make_reduce_jit(d);
+  return make_reduce_scalar(d);
+}
+
+std::unique_ptr<CodecMicrokernel> build_codec(const jit::CodecKernelDesc& d,
+                                              BackendPref pref) {
+  // Codec generation is avx512-only (validate() rejects avx2), so the
+  // SIMD gate is stricter than for conv/upd.
+  const bool simd_ok = (d.isa == platform::Isa::avx512 ||
+                        d.isa == platform::Isa::avx512_vnni) &&
+                       host_supports(d.isa);
+  switch (pref) {
+    case BackendPref::jit:
+      if (!simd_ok)
+        throw std::invalid_argument("JIT backend needs a SIMD ISA the host supports");
+      return make_codec_jit(d);
+    case BackendPref::compiled:
+    case BackendPref::scalar:
+      return make_codec_scalar(d);
+    case BackendPref::auto_pick:
+      break;
+  }
+  if (simd_ok) return make_codec_jit(d);
+  return make_codec_scalar(d);
 }
 
 }  // namespace
@@ -165,9 +287,45 @@ const UpdMicrokernel* KernelRegistry::upd(const jit::UpdKernelDesc& desc,
   return upd_.emplace(key, std::move(built)).first->second.get();
 }
 
+const ReduceMicrokernel* KernelRegistry::reduce(
+    const jit::ReduceKernelDesc& desc, BackendPref pref) {
+  const std::string key =
+      desc.key() + "#" + std::to_string(static_cast<int>(pref));
+  {
+    const platform::MutexLock lock(mu_);
+    auto it = reduce_.find(key);
+    if (it != reduce_.end()) {
+      ++stats_.hits;
+      return it->second.get();
+    }
+    ++stats_.misses;
+  }
+  auto built = build_reduce(desc, pref);  // may throw; cache stays untouched
+  const platform::MutexLock lock(mu_);
+  return reduce_.emplace(key, std::move(built)).first->second.get();
+}
+
+const CodecMicrokernel* KernelRegistry::codec(const jit::CodecKernelDesc& desc,
+                                              BackendPref pref) {
+  const std::string key =
+      desc.key() + "#" + std::to_string(static_cast<int>(pref));
+  {
+    const platform::MutexLock lock(mu_);
+    auto it = codec_.find(key);
+    if (it != codec_.end()) {
+      ++stats_.hits;
+      return it->second.get();
+    }
+    ++stats_.misses;
+  }
+  auto built = build_codec(desc, pref);  // may throw; cache stays untouched
+  const platform::MutexLock lock(mu_);
+  return codec_.emplace(key, std::move(built)).first->second.get();
+}
+
 std::size_t KernelRegistry::size() const {
   const platform::MutexLock lock(mu_);
-  return conv_.size() + upd_.size();
+  return conv_.size() + upd_.size() + reduce_.size() + codec_.size();
 }
 
 KernelRegistry::Stats KernelRegistry::stats() const {
@@ -178,6 +336,24 @@ KernelRegistry::Stats KernelRegistry::stats() const {
 void KernelRegistry::reset_stats() {
   const platform::MutexLock lock(mu_);
   stats_ = Stats{};
+}
+
+std::unique_ptr<ConvMicrokernel> make_conv_jit(const jit::ConvKernelDesc& d) {
+  return std::make_unique<JitConvKernel>(d);
+}
+
+std::unique_ptr<UpdMicrokernel> make_upd_jit(const jit::UpdKernelDesc& d) {
+  return std::make_unique<JitUpdKernel>(d);
+}
+
+std::unique_ptr<ReduceMicrokernel> make_reduce_jit(
+    const jit::ReduceKernelDesc& d) {
+  return std::make_unique<JitReduceKernel>(d);
+}
+
+std::unique_ptr<CodecMicrokernel> make_codec_jit(
+    const jit::CodecKernelDesc& d) {
+  return std::make_unique<JitCodecKernel>(d);
 }
 
 }  // namespace xconv::kernels

@@ -43,6 +43,14 @@ class KernelRegistry {
   const UpdMicrokernel* upd(const jit::UpdKernelDesc& desc,
                             BackendPref pref = BackendPref::auto_pick);
 
+  /// Resolve a dW reduce-epilogue microkernel.
+  const ReduceMicrokernel* reduce(const jit::ReduceKernelDesc& desc,
+                                  BackendPref pref = BackendPref::auto_pick);
+
+  /// Resolve a gradient-codec microkernel.
+  const CodecMicrokernel* codec(const jit::CodecKernelDesc& desc,
+                                BackendPref pref = BackendPref::auto_pick);
+
   /// Number of distinct kernels JIT'ed/instantiated so far (for tests and
   /// the "kernels generated" statistics the benches print).
   std::size_t size() const;
@@ -70,6 +78,10 @@ class KernelRegistry {
       XCONV_GUARDED_BY(mu_);
   std::unordered_map<std::string, std::unique_ptr<UpdMicrokernel>> upd_
       XCONV_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<ReduceMicrokernel>> reduce_
+      XCONV_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<CodecMicrokernel>> codec_
+      XCONV_GUARDED_BY(mu_);
   Stats stats_ XCONV_GUARDED_BY(mu_);
 };
 
@@ -78,6 +90,13 @@ std::unique_ptr<ConvMicrokernel> make_conv_scalar(const jit::ConvKernelDesc&);
 std::unique_ptr<UpdMicrokernel> make_upd_scalar(const jit::UpdKernelDesc&);
 std::unique_ptr<ConvMicrokernel> make_conv_jit(const jit::ConvKernelDesc&);
 std::unique_ptr<UpdMicrokernel> make_upd_jit(const jit::UpdKernelDesc&);
+std::unique_ptr<ReduceMicrokernel> make_reduce_scalar(
+    const jit::ReduceKernelDesc&);
+std::unique_ptr<ReduceMicrokernel> make_reduce_jit(
+    const jit::ReduceKernelDesc&);
+std::unique_ptr<CodecMicrokernel> make_codec_scalar(
+    const jit::CodecKernelDesc&);
+std::unique_ptr<CodecMicrokernel> make_codec_jit(const jit::CodecKernelDesc&);
 // Compiled intrinsics backends; return nullptr when the TU was not built for
 // the requested ISA.
 std::unique_ptr<ConvMicrokernel> make_conv_avx512(const jit::ConvKernelDesc&);

@@ -1,7 +1,14 @@
 // Scalar reference microkernels: plain loops with exactly the semantics the
 // JIT emits, for any vlen. These are the correctness oracle for every other
 // backend and the only backend available on non-x86 hosts.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "kernels/kernel_registry.hpp"
+#include "quant/bfloat16.hpp"
+#include "quant/quantize.hpp"
 
 namespace xconv::kernels {
 
@@ -58,6 +65,9 @@ class ScalarUpdKernel final : public UpdMicrokernel {
            const float*, const float*) const override {
     const auto& d = desc_;
     const int v = d.vlen;
+    // Channel-remainder variant (cmin > 0): only the first cmin rows carry
+    // real channels; beta0 still zeroes every row so pad rows stay +0.
+    const int cm = d.cmin > 0 ? d.cmin : v;
     if (d.beta0)
       for (int i = 0; i < v * v; ++i) dw[i] = 0.0f;
     for (int p = 0; p < d.bp; ++p) {
@@ -68,7 +78,7 @@ class ScalarUpdKernel final : public UpdMicrokernel {
         const float* dov = dout + (static_cast<std::size_t>(p) *
                                        d.out_row_stride +
                                    static_cast<std::size_t>(q) * v);
-        for (int c = 0; c < v; ++c) {
+        for (int c = 0; c < cm; ++c) {
           float* dwrow = dw + static_cast<std::size_t>(c) * v;
           const float x = irow[c];
           for (int k = 0; k < v; ++k) dwrow[k] += x * dov[k];
@@ -80,7 +90,109 @@ class ScalarUpdKernel final : public UpdMicrokernel {
   Backend backend() const override { return Backend::scalar; }
 };
 
+class ScalarReduceKernel final : public ReduceMicrokernel {
+ public:
+  explicit ScalarReduceKernel(const jit::ReduceKernelDesc& d)
+      : ReduceMicrokernel(d) {}
+
+  void run(const float* src, float* dst, std::int64_t n) const override {
+    // Same copy order as ConvLayer's reduce_phase: copy 0 seeds, the rest
+    // add in ascending copy index — the bitwise contract every backend keeps.
+    const auto& d = desc_;
+    for (std::int64_t e = 0; e < n; ++e) {
+      float acc = src[e];
+      for (int c = 1; c < d.copies; ++c) acc += src[d.copy_stride * c + e];
+      dst[e] = acc;
+    }
+  }
+
+  Backend backend() const override { return Backend::scalar; }
+};
+
+class ScalarCodecKernel final : public CodecMicrokernel {
+ public:
+  explicit ScalarCodecKernel(const jit::CodecKernelDesc& d)
+      : CodecMicrokernel(d) {}
+
+  std::int64_t run(const CodecCall& call) const override {
+    return codec_scalar_span(desc_, call, 0, call.n, 0);
+  }
+
+  Backend backend() const override { return Backend::scalar; }
+};
+
 }  // namespace
+
+// Bitwise ground truth for the codec ops — these loops mirror the codec's
+// own scalar paths (src/mlsl/codec.cpp) statement for statement, so wire
+// bytes and residuals match exactly, NaN behavior included.
+std::int64_t codec_scalar_span(const jit::CodecKernelDesc& desc,
+                               const CodecCall& call, std::int64_t i0,
+                               std::int64_t i1, std::int64_t out_pos) {
+  switch (desc.op) {
+    case jit::CodecOp::fold_add:
+      for (std::int64_t i = i0; i < i1; ++i) call.f_io[i] += call.f_in[i];
+      return 0;
+    case jit::CodecOp::int16_quant:
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float t = call.f_io[i];
+        const std::int16_t q = quant::quantize_one(t, call.scale);
+        call.f_io[i] = t - static_cast<float>(q) * call.scale;
+        std::memcpy(call.w_out + i * sizeof(std::int16_t), &q, sizeof(q));
+      }
+      return 0;
+    case jit::CodecOp::int16_dequant:
+    case jit::CodecOp::int16_dequant_acc:
+      for (std::int64_t i = i0; i < i1; ++i) {
+        std::int16_t q;
+        std::memcpy(&q, call.w_in + i * sizeof(std::int16_t), sizeof(q));
+        const float lane = static_cast<float>(q) * call.scale;
+        if (desc.op == jit::CodecOp::int16_dequant_acc)
+          call.f_io[i] += lane;
+        else
+          call.f_io[i] = lane;
+      }
+      return 0;
+    case jit::CodecOp::bf16_pack:
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float t = call.f_in[i] + call.f_io[i];
+        const float d = quant::bf16_round(t);
+        call.f_io[i] = t - d;
+        std::uint32_t u;
+        std::memcpy(&u, &d, sizeof(u));
+        const auto h = static_cast<std::uint16_t>(u >> 16);
+        std::memcpy(call.w_out + i * sizeof(std::uint16_t), &h, sizeof(h));
+      }
+      return 0;
+    case jit::CodecOp::bf16_unpack:
+    case jit::CodecOp::bf16_unpack_acc:
+      for (std::int64_t i = i0; i < i1; ++i) {
+        std::uint16_t h;
+        std::memcpy(&h, call.w_in + i * sizeof(std::uint16_t), sizeof(h));
+        const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+        float lane;
+        std::memcpy(&lane, &u, sizeof(lane));
+        if (desc.op == jit::CodecOp::bf16_unpack_acc)
+          call.f_io[i] += lane;
+        else
+          call.f_io[i] = lane;
+      }
+      return 0;
+    case jit::CodecOp::topk_mag:
+      for (std::int64_t i = i0; i < i1; ++i) {
+        std::uint32_t u;
+        std::memcpy(&u, call.f_in + i, sizeof(u));
+        call.u_out[i] = std::min(u & 0x7fffffffu, 0x7f800000u);
+      }
+      return 0;
+    case jit::CodecOp::topk_compress:
+      for (std::int64_t i = i0; i < i1; ++i)
+        if (call.u_in[i] > call.threshold)
+          call.u_out[out_pos++] = static_cast<std::uint32_t>(i);
+      return out_pos;
+  }
+  return 0;
+}
 
 std::unique_ptr<ConvMicrokernel> make_conv_scalar(
     const jit::ConvKernelDesc& d) {
@@ -89,6 +201,16 @@ std::unique_ptr<ConvMicrokernel> make_conv_scalar(
 
 std::unique_ptr<UpdMicrokernel> make_upd_scalar(const jit::UpdKernelDesc& d) {
   return std::make_unique<ScalarUpdKernel>(d);
+}
+
+std::unique_ptr<ReduceMicrokernel> make_reduce_scalar(
+    const jit::ReduceKernelDesc& d) {
+  return std::make_unique<ScalarReduceKernel>(d);
+}
+
+std::unique_ptr<CodecMicrokernel> make_codec_scalar(
+    const jit::CodecKernelDesc& d) {
+  return std::make_unique<ScalarCodecKernel>(d);
 }
 
 }  // namespace xconv::kernels

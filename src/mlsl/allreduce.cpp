@@ -346,13 +346,17 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
     // Reduce-scatter leg: this rank's contribution goes on the wire in R
     // chunk payloads (one per owner), each encoded independently into a
     // fixed-stride slot with its measured byte count published alongside.
+    // One selection workspace serves every encode this rank performs in
+    // this call (R contribution chunks + partials + the sum re-encode).
+    CodecWorkspace cws;
     const std::size_t stride = bulk_slot_stride_;
     for (int c = 0; c < R; ++c) {
       const std::size_t cb = chunk_begin(c), ce = chunk_end(c);
       bulk_chunk_bytes_[static_cast<std::size_t>(rank) * R + c] =
-          codec_->encode(bufs[rank] + cb,
-                         ef ? residual_[rank].data() + cb : nullptr, ce - cb,
-                         bulk_wire_[rank].data() + c * stride);
+          codec_->encode_scratch(bufs[rank] + cb,
+                                 ef ? residual_[rank].data() + cb : nullptr,
+                                 ce - cb, bulk_wire_[rank].data() + c * stride,
+                                 cws);
     }
     barrier();
     const std::size_t b = chunk_begin(rank), e = chunk_end(rank);
@@ -382,9 +386,9 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
                 bulk_chunk_bytes_[static_cast<std::size_t>(r) * R + c],
                 part.data(), clen);
           bulk_partial_bytes_[static_cast<std::size_t>(c) * N + g] =
-              codec_->encode(part.data(),
-                             ef ? node_residual_[g].data() + cb : nullptr,
-                             clen, bulk_partial_wire_[g].data() + c * stride);
+              codec_->encode_scratch(
+                  part.data(), ef ? node_residual_[g].data() + cb : nullptr,
+                  clen, bulk_partial_wire_[g].data() + c * stride, cws);
         }
       }
       barrier();
@@ -414,9 +418,9 @@ void Communicator::allreduce_sum(int rank, std::vector<float*>& bufs,
     std::uint8_t* sum_wire =
         bulk_wire_[rank].data() + static_cast<std::size_t>(R) * stride;
     bulk_sum_bytes_[rank] =
-        codec_->encode(bufs[rank] + b,
-                       ef ? sum_residual_.data() + b : nullptr, e - b,
-                       sum_wire);
+        codec_->encode_scratch(bufs[rank] + b,
+                               ef ? sum_residual_.data() + b : nullptr, e - b,
+                               sum_wire, cws);
     codec_->decode(sum_wire, bulk_sum_bytes_[rank], bufs[rank] + b, e - b);
   } else {
     // fp32 (exact codec): each rank sums all ranks' contributions to its
@@ -670,7 +674,8 @@ void Communicator::reduce_bucket(const GradBucket& bk,
           gather_bucket(bk, bufs[r], x);
           if (ef) gather_bucket(bk, residual_[r].data(), res);
           const std::size_t wb =
-              codec_->encode(x, ef ? res : nullptr, n, wire);
+              codec_->encode_scratch(x, ef ? res : nullptr, n, wire,
+                                     scratch.ws);
           if (ef) scatter_bucket(bk, res, residual_[r].data());
           contrib_bytes += wb;
           if (j == 0)
@@ -679,8 +684,8 @@ void Communicator::reduce_bucket(const GradBucket& bk,
             codec_->decode_accumulate(wire, wb, part, n);
         }
         if (ef) gather_bucket(bk, node_residual_[g].data(), res);
-        const std::size_t pb = codec_->encode(part, ef ? res : nullptr, n,
-                                              wire);
+        const std::size_t pb = codec_->encode_scratch(part, ef ? res : nullptr,
+                                                      n, wire, scratch.ws);
         if (ef) scatter_bucket(bk, res, node_residual_[g].data());
         partial_bytes += pb;
         if (g == 0)
@@ -694,7 +699,8 @@ void Communicator::reduce_bucket(const GradBucket& bk,
       for (int r = 0; r < R; ++r) {
         gather_bucket(bk, bufs[r], x);
         if (ef) gather_bucket(bk, residual_[r].data(), res);
-        const std::size_t wb = codec_->encode(x, ef ? res : nullptr, n, wire);
+        const std::size_t wb =
+            codec_->encode_scratch(x, ef ? res : nullptr, n, wire, scratch.ws);
         if (ef) scatter_bucket(bk, res, residual_[r].data());
         contrib_bytes += wb;
         if (r == 0)
@@ -707,7 +713,8 @@ void Communicator::reduce_bucket(const GradBucket& bk,
     // residual; every rank receives the same decoded payload, so replicas
     // stay in sync under either schedule.
     if (ef) gather_bucket(bk, sum_residual_.data(), res);
-    sum_bytes = codec_->encode(sum, ef ? res : nullptr, n, wire);
+    sum_bytes =
+        codec_->encode_scratch(sum, ef ? res : nullptr, n, wire, scratch.ws);
     if (ef) scatter_bucket(bk, res, sum_residual_.data());
     codec_->decode(wire, sum_bytes, sum, n);
     for (int r = 0; r < R; ++r) scatter_bucket(bk, sum, bufs[r]);

@@ -277,6 +277,9 @@ class Communicator {
   struct CommScratch {
     std::vector<float> f;
     std::vector<std::uint8_t> wire;
+    /// Codec selection workspace (top-k index/magnitude buffers), hoisted
+    /// here so each comm thread allocates once and reuses across buckets.
+    CodecWorkspace ws;
   };
 
   /// Per-reduction wire traffic split by topology level, plus the latency

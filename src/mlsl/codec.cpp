@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "kernels/kernel_registry.hpp"
+#include "platform/cpu.hpp"
+#include "platform/envparse.hpp"
 #include "quant/bfloat16.hpp"
 #include "quant/quantize.hpp"
 
@@ -57,6 +61,40 @@ void store(std::uint8_t* p, T v) {
   std::memcpy(p, &v, sizeof(T));
 }
 
+/// Resolve the generated kernel for a codec hot loop, or nullptr when the
+/// scalar reference loop should run instead. The generated kernels are an
+/// implementation detail: every one is bitwise-equal to the scalar statements
+/// it replaces (the per-op proofs live in jit/codec_kernel_gen.hpp), so
+/// flipping this gate can never change a wire byte. Gate: XCONV_JIT_CODEC
+/// (default on), an AVX-512 host after the XCONV_ISA clamp, and a backend
+/// env that does not force scalar — so the scalar-backend CI leg exercises
+/// the reference loops end to end.
+const kernels::CodecMicrokernel* codec_kernel(jit::CodecOp op) {
+  static const bool enabled = [] {
+    if (!platform::env::flag_or("XCONV_JIT_CODEC", true)) return false;
+    if (kernels::backend_pref_from_env() == kernels::BackendPref::scalar)
+      return false;
+    return platform::effective_isa() >= platform::Isa::avx512;
+  }();
+  if (!enabled) return nullptr;
+  jit::CodecKernelDesc d;
+  d.op = op;
+  return kernels::KernelRegistry::instance().codec(d);
+}
+
+/// res[i] += src[i] — the error-feedback fold shared by every lossy codec.
+void fold_payload(const float* src, float* res, std::size_t n) {
+  if (const auto* k = codec_kernel(jit::CodecOp::fold_add)) {
+    kernels::CodecCall c;
+    c.f_in = src;
+    c.f_io = res;
+    c.n = static_cast<std::int64_t>(n);
+    k->run(c);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) res[i] += src[i];
+}
+
 class Fp32Codec final : public PayloadCodec {
  public:
   Codec kind() const override { return Codec::kFp32; }
@@ -94,10 +132,19 @@ class Int16Codec final : public PayloadCodec {
     // Fold the carried-over error into the residual buffer first so the
     // quant:: scale covers it too (an element whose residual pushed it past
     // the raw amax must not clamp).
-    for (std::size_t i = 0; i < n; ++i) res[i] += src[i];
+    fold_payload(src, res, n);
     const float s = quant::compute_scale(res, n);
     store<float>(wire, s);
     std::uint8_t* lanes = wire + sizeof(float);
+    if (const auto* k = codec_kernel(jit::CodecOp::int16_quant)) {
+      kernels::CodecCall c;
+      c.f_io = res;
+      c.w_out = lanes;
+      c.scale = s;
+      c.n = static_cast<std::int64_t>(n);
+      k->run(c);
+      return max_encoded_bytes(n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       const float t = res[i];
       const std::int16_t q = quant::quantize_one(t, s);
@@ -109,11 +156,29 @@ class Int16Codec final : public PayloadCodec {
   void decode(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
               float* dst, std::size_t n) const override {
     const float s = load<float>(wire);
+    if (const auto* k = codec_kernel(jit::CodecOp::int16_dequant)) {
+      kernels::CodecCall c;
+      c.w_in = wire + sizeof(float);
+      c.f_io = dst;
+      c.scale = s;
+      c.n = static_cast<std::int64_t>(n);
+      k->run(c);
+      return;
+    }
     for (std::size_t i = 0; i < n; ++i) dst[i] = lane(wire, i, s);
   }
   void decode_accumulate(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
                          float* dst, std::size_t n) const override {
     const float s = load<float>(wire);
+    if (const auto* k = codec_kernel(jit::CodecOp::int16_dequant_acc)) {
+      kernels::CodecCall c;
+      c.w_in = wire + sizeof(float);
+      c.f_io = dst;
+      c.scale = s;
+      c.n = static_cast<std::int64_t>(n);
+      k->run(c);
+      return;
+    }
     for (std::size_t i = 0; i < n; ++i) dst[i] += lane(wire, i, s);
   }
 
@@ -136,6 +201,15 @@ class Bf16Codec final : public PayloadCodec {
   }
   std::size_t encode(const float* src, float* res, std::size_t n,
                      std::uint8_t* wire) const override {
+    if (const auto* k = codec_kernel(jit::CodecOp::bf16_pack)) {
+      kernels::CodecCall c;
+      c.f_in = src;
+      c.f_io = res;
+      c.w_out = wire;
+      c.n = static_cast<std::int64_t>(n);
+      k->run(c);
+      return max_encoded_bytes(n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       const float t = src[i] + res[i];
       const float d = quant::bf16_round(t);
@@ -149,10 +223,26 @@ class Bf16Codec final : public PayloadCodec {
   }
   void decode(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
               float* dst, std::size_t n) const override {
+    if (const auto* k = codec_kernel(jit::CodecOp::bf16_unpack)) {
+      kernels::CodecCall c;
+      c.w_in = wire;
+      c.f_io = dst;
+      c.n = static_cast<std::int64_t>(n);
+      k->run(c);
+      return;
+    }
     for (std::size_t i = 0; i < n; ++i) dst[i] = lane(wire, i);
   }
   void decode_accumulate(const std::uint8_t* wire, std::size_t /*wire_bytes*/,
                          float* dst, std::size_t n) const override {
+    if (const auto* k = codec_kernel(jit::CodecOp::bf16_unpack_acc)) {
+      kernels::CodecCall c;
+      c.w_in = wire;
+      c.f_io = dst;
+      c.n = static_cast<std::int64_t>(n);
+      k->run(c);
+      return;
+    }
     for (std::size_t i = 0; i < n; ++i) dst[i] += lane(wire, i);
   }
 
@@ -191,40 +281,37 @@ class TopKCodec final : public PayloadCodec {
   }
   std::size_t encode(const float* src, float* res, std::size_t n,
                      std::uint8_t* wire) const override {
+    // Workspace-less entry point: selection scratch is per call. Callers
+    // that encode many buckets (the allreduce comm threads) go through
+    // encode_scratch with their CommScratch workspace instead, so the O(n)
+    // selection buffers are allocated once per thread, not per bucket.
+    CodecWorkspace ws;
+    return encode_scratch(src, res, n, wire, ws);
+  }
+  std::size_t encode_scratch(const float* src, float* res, std::size_t n,
+                             std::uint8_t* wire,
+                             CodecWorkspace& ws) const override {
     // Fold the carried-over error first: a coordinate dropped for several
     // rounds grows in the residual until it out-ranks fresher entries.
-    for (std::size_t i = 0; i < n; ++i) res[i] += src[i];
+    fold_payload(src, res, n);
     const std::size_t k = k_of(n);
     // Selection is a pure function of the folded values: magnitude order
     // with ties broken by lowest index, so every rank / comm thread / pool
-    // size produces the identical wire payload for identical inputs. NaN
-    // magnitudes rank as +inf — they ship first (propagating like the dense
-    // codecs would) and, crucially, keep the comparator a strict weak
-    // ordering (a raw `>` on NaN compares false both ways, which is UB in
-    // nth_element/sort). The index workspace is per call, not thread_local:
-    // bulk-mode encodes cover whole-gradient chunks, and a sticky
-    // worst-case buffer on every encoding thread would dwarf the
-    // deliberately-sized CommScratch; one allocation is noise next to the
-    // selection itself.
-    std::vector<std::uint32_t> idx(n);
-    std::iota(idx.begin(), idx.end(), 0u);
+    // size produces the identical wire payload for identical inputs — and
+    // the vectorized pivot selection below provably picks the same set, so
+    // the wire bytes are also independent of whether the codec kernels are
+    // enabled.
     if (k < n) {
-      const auto mag = [&](std::uint32_t i) {
-        const float m = std::abs(res[i]);
-        return std::isnan(m) ? std::numeric_limits<float>::infinity() : m;
-      };
-      std::nth_element(idx.begin(), idx.begin() + static_cast<long>(k) - 1,
-                       idx.end(), [&](std::uint32_t a, std::uint32_t b) {
-                         const float ma = mag(a), mb = mag(b);
-                         return ma > mb || (ma == mb && a < b);
-                       });
-      std::sort(idx.begin(), idx.begin() + static_cast<long>(k));
+      if (!select_pivot(res, n, k, ws)) select_reference(res, n, k, ws);
+    } else {
+      ws.idx.resize(n);
+      std::iota(ws.idx.begin(), ws.idx.end(), 0u);
     }
     store<std::uint32_t>(wire, static_cast<std::uint32_t>(k));
     std::uint8_t* iw = wire + sizeof(std::uint32_t);
     std::uint8_t* vw = iw + k * sizeof(std::uint32_t);
     for (std::size_t j = 0; j < k; ++j) {
-      const std::uint32_t i = idx[j];
+      const std::uint32_t i = ws.idx[j];
       store<std::uint32_t>(iw + j * sizeof(std::uint32_t), i);
       store<float>(vw + j * sizeof(float), res[i]);
       res[i] = 0.0f;  // kept coordinates ship exactly: no encoding error
@@ -247,6 +334,87 @@ class TopKCodec final : public PayloadCodec {
   }
 
  private:
+  /// Reference selection (requires k < n): partial-select the k
+  /// largest-magnitude indices of vals, leaving ws.idx[0..k) ascending. NaN
+  /// magnitudes rank as +inf — they ship first (propagating like the dense
+  /// codecs would) and, crucially, keep the comparator a strict weak
+  /// ordering (a raw `>` on NaN compares false both ways, which is UB in
+  /// nth_element/sort). This is the bitwise ground truth select_pivot is
+  /// tested against, and the path the scalar backend runs.
+  static void select_reference(const float* vals, std::size_t n,
+                               std::size_t k, CodecWorkspace& ws) {
+    ws.idx.resize(n);
+    std::iota(ws.idx.begin(), ws.idx.end(), 0u);
+    const auto mag = [&](std::uint32_t i) {
+      const float m = std::abs(vals[i]);
+      return std::isnan(m) ? std::numeric_limits<float>::infinity() : m;
+    };
+    std::nth_element(ws.idx.begin(), ws.idx.begin() + static_cast<long>(k) - 1,
+                     ws.idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+                       const float ma = mag(a), mb = mag(b);
+                       return ma > mb || (ma == mb && a < b);
+                     });
+    std::sort(ws.idx.begin(), ws.idx.begin() + static_cast<long>(k));
+  }
+
+  /// Vectorized selection (requires k < n): magnitude keys through the
+  /// topk_mag kernel, a pivot from nth_element on a *key copy* (u32 compares,
+  /// no per-compare gather through an index permutation), the
+  /// strictly-greater indices through the topk_compress kernel, and a scalar
+  /// tie fill. mag = min(bits & 0x7fffffff, 0x7f800000) is strictly monotone
+  /// in the reference's NaN-to-inf float magnitude (all NaN payloads collapse
+  /// onto the +inf key, the same equivalence class the reference uses), so
+  /// {key > pivot} ∪ {lowest-index keys == pivot} is exactly the reference's
+  /// selected set; both halves are produced in ascending index order and
+  /// merged. Returns false (caller runs select_reference) when the codec
+  /// kernels are unavailable.
+  static bool select_pivot(const float* vals, std::size_t n, std::size_t k,
+                           CodecWorkspace& ws) {
+    const auto* magk = codec_kernel(jit::CodecOp::topk_mag);
+    const auto* cmpk = codec_kernel(jit::CodecOp::topk_compress);
+    if (magk == nullptr || cmpk == nullptr) return false;
+    ws.mag.resize(n);
+    {
+      kernels::CodecCall c;
+      c.f_in = vals;
+      c.u_out = ws.mag.data();
+      c.n = static_cast<std::int64_t>(n);
+      magk->run(c);
+    }
+    ws.tmp.assign(ws.mag.begin(), ws.mag.end());
+    std::nth_element(ws.tmp.begin(), ws.tmp.begin() + static_cast<long>(k) - 1,
+                     ws.tmp.end(), std::greater<std::uint32_t>());
+    const std::uint32_t pivot = ws.tmp[k - 1];
+    // Strictly-greater indices, ascending. g <= k-1 by definition of the
+    // k-th-largest pivot, so idx never overflows its k slots.
+    ws.idx.resize(k);
+    std::size_t g;
+    {
+      kernels::CodecCall c;
+      c.u_in = ws.mag.data();
+      c.u_out = ws.idx.data();
+      c.threshold = pivot;
+      c.n = static_cast<std::int64_t>(n);
+      g = static_cast<std::size_t>(cmpk->run(c));
+    }
+    // The remaining k-g slots go to the lowest-index keys equal to the
+    // pivot — the reference comparator's tie break. At least k-g such keys
+    // exist, again by definition of the pivot.
+    ws.tmp.clear();
+    std::size_t need = k - g;
+    for (std::size_t i = 0; i < n && need > 0; ++i) {
+      if (ws.mag[i] == pivot) {
+        ws.tmp.push_back(static_cast<std::uint32_t>(i));
+        --need;
+      }
+    }
+    std::copy(ws.tmp.begin(), ws.tmp.end(),
+              ws.idx.begin() + static_cast<long>(g));
+    std::inplace_merge(ws.idx.begin(), ws.idx.begin() + static_cast<long>(g),
+                       ws.idx.end());
+    return true;
+  }
+
   double fraction_;
 };
 

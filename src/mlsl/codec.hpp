@@ -40,8 +40,21 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace xconv::mlsl {
+
+/// Reusable encode scratch. Top-k selection needs O(n) index/magnitude
+/// workspaces per encode; a caller that encodes many buckets (the allreduce
+/// comm threads) passes one workspace per thread so the buffers are
+/// allocated once and grow to the largest bucket instead of being
+/// re-allocated per call. Plain encode() without a workspace still works —
+/// it builds a transient one.
+struct CodecWorkspace {
+  std::vector<std::uint32_t> idx;  ///< selected indices (ascending)
+  std::vector<std::uint32_t> mag;  ///< magnitude keys (NaN -> +inf key)
+  std::vector<std::uint32_t> tmp;  ///< selection scratch (pivot / ties)
+};
 
 enum class Codec { kFp32, kInt16, kBf16, kTopK };
 
@@ -75,6 +88,16 @@ class PayloadCodec {
   /// `residual` may be nullptr iff !uses_residual(). src is not modified.
   virtual std::size_t encode(const float* src, float* residual, std::size_t n,
                              std::uint8_t* wire) const = 0;
+
+  /// encode() reusing the caller's selection workspace (see CodecWorkspace).
+  /// Bitwise-identical output to encode(); the default forwards there for
+  /// codecs that need no scratch.
+  virtual std::size_t encode_scratch(const float* src, float* residual,
+                                     std::size_t n, std::uint8_t* wire,
+                                     CodecWorkspace& ws) const {
+    (void)ws;
+    return encode(src, residual, n, wire);
+  }
 
   /// Reconstruct an n-element payload from `wire_bytes` of wire into dst
   /// (overwrite; sparse payloads zero the coordinates they dropped).

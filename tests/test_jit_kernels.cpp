@@ -3,7 +3,9 @@
 // in-kernel Cb loop, scattered output columns).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "jit/conv_kernel_gen.hpp"
@@ -177,6 +179,7 @@ struct UpdCase {
   platform::Isa isa;
   int bp, bq, stride;
   bool beta0;
+  int cmin = 0;
 };
 
 class JitUpdSweep : public ::testing::TestWithParam<UpdCase> {};
@@ -192,6 +195,7 @@ TEST_P(JitUpdSweep, MatchesScalar) {
   d.stride_h = d.stride_w = c.stride;
   d.in_row_stride = (c.bq * c.stride + 4) * d.vlen;
   d.out_row_stride = (c.bq + 2) * d.vlen;
+  d.cmin = c.cmin;
   d.beta0 = c.beta0;
 
   const std::size_t in_sz = static_cast<std::size_t>(c.bp * c.stride + 2) *
@@ -219,7 +223,54 @@ INSTANTIATE_TEST_SUITE_P(
                       UpdCase{platform::Isa::avx512, 2, 8, 2, false},
                       UpdCase{platform::Isa::avx512, 1, 1, 1, true},
                       UpdCase{platform::Isa::avx2, 2, 12, 1, true},
-                      UpdCase{platform::Isa::avx2, 3, 5, 2, false}));
+                      UpdCase{platform::Isa::avx2, 3, 5, 2, false},
+                      // channel-remainder edge variants (C % vlen != 0)
+                      UpdCase{platform::Isa::avx512, 2, 14, 1, true, 3},
+                      UpdCase{platform::Isa::avx512, 3, 7, 1, false, 7},
+                      UpdCase{platform::Isa::avx512, 2, 8, 2, true, 15},
+                      UpdCase{platform::Isa::avx512, 1, 1, 1, false, 1},
+                      UpdCase{platform::Isa::avx2, 2, 9, 1, true, 5}));
+
+// With the pad lanes of the blocked input zeroed (as the layout code
+// guarantees), the cmin edge variant must be bitwise-identical to the full
+// kernel: skipped rows contribute exactly +0 per FMA, and beta0 still zeroes
+// all vlen rows of the stored block.
+TEST(JitUpd, CminSkipsPadRowsBitwise) {
+  if (!host_has(platform::Isa::avx512)) GTEST_SKIP();
+  for (const int cmin : {1, 7, 15}) {
+    for (const bool beta0 : {true, false}) {
+      jit::UpdKernelDesc d;
+      d.isa = platform::Isa::avx512;
+      d.vlen = 16;
+      d.bp = 2;
+      d.bq = 14;
+      d.in_row_stride = (d.bq + 4) * d.vlen;
+      d.out_row_stride = (d.bq + 2) * d.vlen;
+      d.beta0 = beta0;
+
+      const std::size_t in_sz =
+          static_cast<std::size_t>(d.bp + 2) * d.in_row_stride;
+      const std::size_t do_sz =
+          static_cast<std::size_t>(d.bp + 1) * d.out_row_stride;
+      auto in = random_vec(in_sz, 10);
+      // Zero the pad channel lanes (c >= cmin) of every input vector.
+      for (std::size_t i = 0; i < in_sz; ++i)
+        if (static_cast<int>(i % d.vlen) >= cmin) in[i] = 0.0f;
+      const auto dout = random_vec(do_sz, 11);
+      auto dw_full = random_vec(static_cast<std::size_t>(d.vlen) * d.vlen, 12);
+      auto dw_edge = dw_full;
+
+      auto full = jit::generate_upd_kernel(d);
+      (*full)(in.data(), dout.data(), dw_full.data(), in.data(), dout.data(),
+              dw_full.data());
+      d.cmin = cmin;
+      auto edge = jit::generate_upd_kernel(d);
+      (*edge)(in.data(), dout.data(), dw_edge.data(), in.data(), dout.data(),
+              dw_edge.data());
+      xconv::testing::expect_bitwise(dw_full, dw_edge, "cmin upd kernel");
+    }
+  }
+}
 
 TEST(JitUpd, DescValidation) {
   jit::UpdKernelDesc d;
@@ -293,5 +344,96 @@ TEST(JitGemm, DescValidation) {
   EXPECT_THROW(d.validate(), std::invalid_argument);
   d.n = 14;
   d.lda = 8;  // < vlen
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+// The reduce epilogue sums `copies` privatized dW copies. Scalar and JIT
+// backends share one bitwise contract — copy 0 seeds, the rest add in
+// ascending copy index — so results must match bit for bit, including the
+// scalar tail the JIT kernel takes for n % (vlen * unroll).
+struct ReduceCase {
+  platform::Isa isa;
+  int copies, unroll;
+  std::int64_t n;
+  std::int64_t pad = 0;  ///< extra elements between copies beyond n
+};
+
+class JitReduceSweep : public ::testing::TestWithParam<ReduceCase> {};
+
+TEST_P(JitReduceSweep, BitwiseMatchesScalar) {
+  const auto c = GetParam();
+  if (!host_has(c.isa)) GTEST_SKIP();
+  jit::ReduceKernelDesc d;
+  d.isa = c.isa;
+  d.vlen = platform::vlen_fp32(c.isa);
+  d.copies = c.copies;
+  d.copy_stride = std::max<std::int64_t>(c.n + c.pad, d.vlen);
+  d.unroll = c.unroll;
+
+  const auto src = random_vec(
+      static_cast<std::size_t>(d.copy_stride) * c.copies, 13, -4.0f, 4.0f);
+  std::vector<float> dst_ref(static_cast<std::size_t>(c.n), -1.0f);
+  auto dst_jit = dst_ref;
+
+  auto sc = kernels::make_reduce_scalar(d);
+  sc->run(src.data(), dst_ref.data(), c.n);
+  auto k = kernels::make_reduce_jit(d);
+  k->run(src.data(), dst_jit.data(), c.n);
+  xconv::testing::expect_bitwise(dst_ref, dst_jit, "reduce epilogue");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JitReduceSweep,
+    ::testing::Values(
+        // full-vector counts across unrolls
+        ReduceCase{platform::Isa::avx512, 2, 1, 256},
+        ReduceCase{platform::Isa::avx512, 2, 4, 4096},
+        ReduceCase{platform::Isa::avx512, 4, 4, 2304},
+        ReduceCase{platform::Isa::avx512, 8, 2, 1152},
+        ReduceCase{platform::Isa::avx512, 3, 8, 9 * 9 * 16},
+        // scalar tails: n % (vlen * unroll) != 0
+        ReduceCase{platform::Isa::avx512, 2, 4, 1},
+        ReduceCase{platform::Isa::avx512, 2, 4, 15},
+        ReduceCase{platform::Isa::avx512, 3, 2, 17},
+        ReduceCase{platform::Isa::avx512, 4, 4, 100},
+        ReduceCase{platform::Isa::avx512, 7, 1, 257},
+        ReduceCase{platform::Isa::avx512, 5, 8, 4103},
+        // padded copy strides (dW blocks laid out with slack)
+        ReduceCase{platform::Isa::avx512, 4, 4, 2304, 64},
+        ReduceCase{platform::Isa::avx512, 2, 2, 33, 31},
+        // avx2 variant
+        ReduceCase{platform::Isa::avx2, 4, 4, 1000},
+        ReduceCase{platform::Isa::avx2, 3, 2, 23}));
+
+TEST(JitReduce, RegistryResolvesAndCaches) {
+  if (!host_has(platform::Isa::avx512)) GTEST_SKIP();
+  jit::ReduceKernelDesc d;
+  d.isa = platform::Isa::avx512;
+  d.vlen = 16;
+  d.copies = 4;
+  d.copy_stride = 2304;
+  d.unroll = 4;
+  auto& reg = kernels::KernelRegistry::instance();
+  const auto* a = reg.reduce(d);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, reg.reduce(d));  // cached
+  const auto* s = reg.reduce(d, kernels::BackendPref::scalar);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->backend(), kernels::Backend::scalar);
+}
+
+TEST(JitReduce, DescValidation) {
+  jit::ReduceKernelDesc d;
+  d.isa = platform::Isa::avx512;
+  d.vlen = 16;
+  d.copies = 1;  // needs >= 2
+  d.copy_stride = 2304;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.copies = 2;
+  EXPECT_NO_THROW(d.validate());
+  d.unroll = 9;  // out of [1, 8]
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.unroll = 4;
+  d.copy_stride = 8;  // < vlen
   EXPECT_THROW(d.validate(), std::invalid_argument);
 }

@@ -474,9 +474,9 @@ TEST(PlanKeyTest, TextFormAndHashPinned) {
   // which is exactly what kPlanSchemaVersion (embedded in the text) is for.
   EXPECT_EQ(key.to_string(),
             "conv(N=2,C=64,K=128,H=56,W=56,R=3,S=3,stride=1x1,pad=1x1)"
-            "|pass=train|isa=avx512|vlen=16|threads=4|v1");
-  EXPECT_EQ(key.hash(), 0x9ac43ed6cac21163ull);
-  EXPECT_EQ(key.hash_hex(), "9ac43ed6cac21163");
+            "|pass=train|isa=avx512|vlen=16|threads=4|v2");
+  EXPECT_EQ(key.hash(), 0x9ac43fd6cac21316ull);
+  EXPECT_EQ(key.hash_hex(), "9ac43fd6cac21316");
 }
 
 TEST(PlanKeyTest, HashIsFnv1a64) {
@@ -634,7 +634,7 @@ TEST(PlanSerialization, RejectsCorruptTruncatedVersionAndForeign) {
   // A bumped schema version is version_mismatch (the upgrade path).
   {
     std::string s = good;
-    const std::string needle = "\"plan_schema_version\": 1";
+    const std::string needle = "\"plan_schema_version\": 2";
     const auto pos = s.find(needle);
     ASSERT_NE(pos, std::string::npos);
     s.replace(pos, needle.size(), "\"plan_schema_version\": 999");
@@ -752,7 +752,7 @@ TEST(PlanCacheTest, VersionMismatchedDiskEntryFallsBack) {
   cache.put(key, core::plan_default(p, req));
   // Simulate an old-version file in place.
   std::string text = read_file(cache.file_path(key));
-  const std::string needle = "\"plan_schema_version\": 1";
+  const std::string needle = "\"plan_schema_version\": 2";
   const auto pos = text.find(needle);
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, needle.size(), "\"plan_schema_version\": 0");

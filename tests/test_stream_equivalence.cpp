@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "test_helpers.hpp"
@@ -112,6 +113,58 @@ TEST_P(StreamUpdEquivalence, BitIdenticalAcrossStrategiesAndThreads) {
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, StreamUpdEquivalence,
+    ::testing::Combine(::testing::Values(UpdStrategy::task,
+                                         UpdStrategy::minibatch,
+                                         UpdStrategy::hybrid),
+                       ::testing::Values(1, 2, 4)));
+
+// The PR-9 plan axes — driver loop order and the JIT reduce epilogue — must
+// be bitwise-neutral: every (loop order, reduce backend, stream mode)
+// combination accumulates each dW block in the identical (n, pjb, qib)
+// sequence, and the generated reduce kernel keeps the scalar loop's
+// copy-0-seeds-then-ascending-adds contract.
+class StreamUpdPlanAxes
+    : public ::testing::TestWithParam<std::tuple<UpdStrategy, int>> {};
+
+TEST_P(StreamUpdPlanAxes, LoopOrderAndReduceJitAreBitwiseNeutral) {
+  const auto [strategy, threads] = GetParam();
+  const auto p = core::make_conv(4, 16, 32, 9, 9, 3, 3, 1);
+  ConvProblem pr(p, 50 + threads);
+  ConvOptions o;
+  o.upd_strategy = strategy;
+  o.threads = threads;
+  o.upd_bp = 2;
+  o.upd_bq = 4;
+
+  core::ConvLayer base(p, with_streams(o, false));
+  const auto want = layer_update(base, pr);
+  const core::ConvPlan def = base.plan();
+
+  for (const auto order :
+       {core::UpdLoopOrder::task_outer, core::UpdLoopOrder::pixel_outer}) {
+    for (const bool reduce_jit : {true, false}) {
+      core::ConvPlan plan = def;
+      plan.upd_loop_order = order;
+      plan.upd_reduce_jit = reduce_jit;
+      // An off-default unroll exercises a distinct generated chunk shape.
+      if (reduce_jit) plan.upd_reduce_unroll = 2;
+      for (const bool streams : {false, true}) {
+        ConvOptions oo = with_streams(o, streams);
+        oo.plan = plan;
+        core::ConvLayer layer(p, oo);
+        const std::string what =
+            std::string(core::upd_strategy_name(strategy)) + "/" +
+            core::upd_loop_order_name(order) +
+            (reduce_jit ? "/jit-reduce" : "/scalar-reduce") +
+            (streams ? "/stream" : "/branchy");
+        expect_bitwise(want, layer_update(layer, pr), what.c_str());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StreamUpdPlanAxes,
     ::testing::Combine(::testing::Values(UpdStrategy::task,
                                          UpdStrategy::minibatch,
                                          UpdStrategy::hybrid),

@@ -1,7 +1,14 @@
 #!/usr/bin/env python3
 """Regression diff between a fresh bench_runner JSON and a committed baseline.
 
-Matches rows on (set, layer, pass, mode) and compares GFLOPS. The committed
+Handles both committed baseline kinds, keyed off the ``bench`` field:
+
+* bench_streams JSON (``bench: streams`` or absent): rows match on
+  (set, layer, pass, mode) and compare GFLOPS.
+* bench_overlap JSON (``bench: overlap``): rows match on
+  (topology, mode, codec, algorithm, ranks, comm_threads) and compare img/s.
+
+Matches rows on the per-kind key and compares the per-kind metric. The committed
 baseline was captured on a different host than CI runners, and neither raw
 GFLOPS nor peak-normalized numbers transfer between hosts (measured 1-core
 peak and conv efficiency scale differently across microarchitectures). So the
@@ -29,13 +36,22 @@ import sys
 
 
 def load_rows(path):
+    """Returns (kind, rows) where rows maps a per-kind tuple key to its
+    throughput metric (GFLOPS for streams, img/s for overlap)."""
     with open(path) as f:
         doc = json.load(f)
+    kind = doc.get("bench", "streams")
     rows = {}
-    for r in doc.get("results", []):
-        key = (r.get("set"), r["layer"], r["pass"], r.get("mode"))
-        rows[key] = r["gflops"]
-    return rows
+    if kind == "overlap":
+        for r in doc.get("results", []):
+            key = (r["topology"], r["mode"], r["codec"], r["algorithm"],
+                   r["ranks"], r["comm_threads"])
+            rows[key] = r["img_s"]
+    else:
+        for r in doc.get("results", []):
+            key = (r.get("set"), r["layer"], r["pass"], r.get("mode"))
+            rows[key] = r["gflops"]
+    return kind, rows
 
 
 def main():
@@ -49,13 +65,17 @@ def main():
                          "median ratio * floor (default 0.5)")
     args = ap.parse_args()
 
-    fresh = load_rows(args.fresh)
-    base = load_rows(args.baseline)
+    fkind, fresh = load_rows(args.fresh)
+    bkind, base = load_rows(args.baseline)
+    if fkind != bkind:
+        print(f"bench diff: FAIL: bench kind mismatch ({fkind} vs {bkind})",
+              file=sys.stderr)
+        return 1
 
     common = sorted(k for k in set(fresh) & set(base) if base[k] > 0)
     if not common:
-        print("bench diff: FAIL: no (set, layer, pass, mode) rows in common "
-              "between the two files", file=sys.stderr)
+        print("bench diff: FAIL: no rows in common between the two files",
+              file=sys.stderr)
         return 1
 
     only_fresh = sorted(set(fresh) - set(base))
@@ -79,10 +99,11 @@ def main():
         if ratios[key] < cutoff:
             failures.append(key)
 
+    unit = "img/s" if fkind == "overlap" else "GFLOPS"
     for key in failures:
-        s, layer, pss, mode = key
-        print(f"bench diff: FAIL: {s}/{layer} {pss} {mode}: "
-              f"{fresh[key]:.1f} GFLOPS vs baseline {base[key]:.1f} "
+        row = "/".join(str(k) for k in key)
+        print(f"bench diff: FAIL: {row}: "
+              f"{fresh[key]:.1f} {unit} vs baseline {base[key]:.1f} "
               f"(ratio {ratios[key]:.2f} < median {med:.2f} * floor "
               f"{args.floor})", file=sys.stderr)
     if failures:

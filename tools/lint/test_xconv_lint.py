@@ -140,6 +140,36 @@ class RuleTest(unittest.TestCase):
         v = lint.check_test_registration(self.repo)
         self.assertEqual([x.path for x in v], [".github/workflows/ci.yml"])
 
+    # --- jit-bitwise-test ---------------------------------------------------
+
+    def test_generator_without_scalar_test_flagged(self):
+        make_repo(self.repo, {"src/jit/foo_kernel_gen.cpp": "void g() {}\n"})
+        v = lint.check_jit_bitwise_test(self.repo)
+        self.assertEqual([x.path for x in v], ["src/jit/foo_kernel_gen.cpp"])
+        self.assertIn("jit/foo_kernel_gen.hpp", v[0].message)
+
+    def test_generator_with_scalar_test_passes(self):
+        make_repo(self.repo, {
+            "src/jit/foo_kernel_gen.cpp": "void g() {}\n",
+            "tests/test_foo.cpp":
+                '#include "jit/foo_kernel_gen.hpp"\n'
+                "// cross-check against the scalar reference\n"
+                "int main() { return 0; }\n"})
+        self.assertEqual(lint.check_jit_bitwise_test(self.repo), [])
+
+    def test_test_without_scalar_mention_flagged(self):
+        make_repo(self.repo, {
+            "src/jit/foo_kernel_gen.cpp": "void g() {}\n",
+            "tests/test_foo.cpp":
+                '#include "jit/foo_kernel_gen.hpp"\n'
+                "int main() { return 0; }\n"})
+        v = lint.check_jit_bitwise_test(self.repo)
+        self.assertEqual(len(v), 1)
+
+    def test_non_generator_jit_sources_ignored(self):
+        make_repo(self.repo, {"src/jit/assembler.cpp": "void a() {}\n"})
+        self.assertEqual(lint.check_jit_bitwise_test(self.repo), [])
+
     # --- bench-schema -------------------------------------------------------
 
     BENCH = ('#include <cstdio>\nvoid w(std::FILE* f) {\n'

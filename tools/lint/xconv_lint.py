@@ -41,6 +41,12 @@ plan-schema
     changing the serialization would turn every user's warm cache into
     rejected-stale entries (or worse, misparses). Changing either requires a
     version bump plus ``--update-plan-lock`` in the same commit.
+jit-bitwise-test
+    Every runtime kernel generator (``src/jit/*_kernel_gen.cpp``) must have
+    a registered test that includes its header and cross-checks against a
+    scalar reference. The repo's correctness story for generated machine
+    code is bitwise equality with the scalar loops — a generator without
+    that cross-check is unverifiable by construction.
 
 Usage
 -----
@@ -262,6 +268,38 @@ def check_test_registration(repo: Path) -> list:
     return out
 
 
+# --- rule: jit-bitwise-test -------------------------------------------------
+
+def check_jit_bitwise_test(repo: Path) -> list:
+    """Each src/jit/*_kernel_gen.cpp needs a tests/test_*.cpp that includes
+    the generator's header and mentions 'scalar' (the cross-check oracle).
+    Intentionally shallow: it cannot prove the test asserts bitwise equality,
+    but it guarantees a generator cannot land without *any* scalar-reference
+    test, which is the failure mode worth automating against."""
+    out = []
+    jit_dir = repo / "src" / "jit"
+    if not jit_dir.is_dir():
+        return out
+    gens = sorted(jit_dir.glob("*_kernel_gen.cpp"))
+    if not gens:
+        return out
+    tests_dir = repo / "tests"
+    tests = sorted(tests_dir.glob("test_*.cpp")) if tests_dir.is_dir() else []
+    texts = [t.read_text(encoding="utf-8", errors="replace") for t in tests]
+    for g in gens:
+        header = f"jit/{g.stem}.hpp"
+        covered = any(header in text and
+                      re.search(r"\bscalar\b", text, re.IGNORECASE)
+                      for text in texts)
+        if not covered:
+            out.append(Violation(
+                rel(repo, g), 1, "jit-bitwise-test",
+                f"no tests/test_*.cpp includes {header} and cross-checks a "
+                "scalar reference; generated code must have a bitwise "
+                "scalar-equivalence test"))
+    return out
+
+
 # --- rule: bench-schema -----------------------------------------------------
 
 def scan_bench_emitters(repo: Path) -> dict:
@@ -422,6 +460,7 @@ RULES = (
     check_thread_outside_allreduce,
     check_omp_in_header,
     check_test_registration,
+    check_jit_bitwise_test,
     check_bench_schema,
     check_plan_schema,
 )

@@ -22,6 +22,7 @@
 #include "core/conv_layer.hpp"
 #include "gemm/gemm.hpp"
 #include "jit/gemm_kernel_gen.hpp"
+#include "jit/verify/verifier.hpp"
 #include "tensor/transform.hpp"
 
 namespace xconv::core {
@@ -158,9 +159,15 @@ void ConvLayer::setup_backward() {
     g.beta0 = false;
     g.n = bwd_gemm_->qc;
     bwd_gemm_->main = jit::generate_gemm_kernel(g);
+    jit::verify::maybe_verify(jit::verify::contract_for(g),
+                              bwd_gemm_->main->code(),
+                              bwd_gemm_->main->code_size(), g.key());
     if (bwd_gemm_->q_rem > 0) {
       g.n = bwd_gemm_->q_rem;
       bwd_gemm_->rem = jit::generate_gemm_kernel(g);
+      jit::verify::maybe_verify(jit::verify::contract_for(g),
+                                bwd_gemm_->rem->code(),
+                                bwd_gemm_->rem->code_size(), g.key());
     }
   }
 }

@@ -1,6 +1,7 @@
 #include "jit/code_buffer.hpp"
 
 #include <sys/mman.h>
+#include <unistd.h>
 
 #include <cstring>
 #include <stdexcept>
@@ -8,8 +9,15 @@
 
 namespace xconv::jit {
 
+namespace {
+std::size_t page_size() {
+  const long p = ::sysconf(_SC_PAGESIZE);
+  return p > 0 ? static_cast<std::size_t>(p) : 4096;
+}
+}  // namespace
+
 CodeBuffer::CodeBuffer(std::size_t capacity) {
-  const std::size_t page = 4096;
+  const std::size_t page = page_size();
   capacity_ = (capacity + page - 1) / page * page;
   void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -69,8 +77,15 @@ void CodeBuffer::patch32(std::size_t at, std::uint32_t v) {
 
 void CodeBuffer::finalize() {
   require_writable();
-  if (::mprotect(mem_, capacity_, PROT_READ | PROT_EXEC) != 0)
+  if (::mprotect(mem_, capacity_, PROT_READ | PROT_EXEC) != 0) {
+    // The buffer is unusable either way; release the pages before throwing
+    // so a caught exception does not leak the W mapping.
+    ::munmap(mem_, capacity_);
+    mem_ = nullptr;
+    capacity_ = 0;
+    size_ = 0;
     throw std::runtime_error("CodeBuffer: mprotect(RX) failed");
+  }
   finalized_ = true;
 }
 

@@ -80,6 +80,7 @@ class CodecKernel {
   codec_fn fn() const { return fn_; }
   const CodecKernelDesc& desc() const { return desc_; }
   std::size_t code_size() const { return buf_.size(); }
+  const std::uint8_t* code() const { return buf_.data(); }
 
  private:
   CodecKernelDesc desc_;

@@ -41,6 +41,8 @@ class GemmKernel {
   }
   conv_fn fn() const { return fn_; }
   const GemmKernelDesc& desc() const { return desc_; }
+  std::size_t code_size() const { return buf_.size(); }
+  const std::uint8_t* code() const { return buf_.data(); }
 
  private:
   GemmKernelDesc desc_;

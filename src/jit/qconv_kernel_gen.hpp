@@ -39,6 +39,7 @@ class QConvKernel {
   qconv_fn fn() const { return fn_; }
   const quant::QKernelDesc& desc() const { return desc_; }
   std::size_t code_size() const { return buf_.size(); }
+  const std::uint8_t* code() const { return buf_.data(); }
 
  private:
   quant::QKernelDesc desc_;

@@ -62,6 +62,7 @@ class UpdKernel {
   conv_fn fn() const { return fn_; }
   const UpdKernelDesc& desc() const { return desc_; }
   std::size_t code_size() const { return buf_.size(); }
+  const std::uint8_t* code() const { return buf_.data(); }
 
  private:
   UpdKernelDesc desc_;
@@ -98,6 +99,7 @@ class ReduceKernel {
   reduce_fn fn() const { return fn_; }
   const ReduceKernelDesc& desc() const { return desc_; }
   std::size_t code_size() const { return buf_.size(); }
+  const std::uint8_t* code() const { return buf_.data(); }
 
  private:
   ReduceKernelDesc desc_;

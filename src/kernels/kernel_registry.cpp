@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "jit/verify/verifier.hpp"
 #include "platform/envparse.hpp"
 #include "quant/quantize.hpp"
 
@@ -10,10 +11,24 @@ namespace xconv::kernels {
 
 namespace {
 
+// Registry-insert-time static verification (XCONV_VERIFY_JIT): each wrapper
+// verifies its freshly generated kernel exactly once, before it can be
+// dispatched — zero steady-state cost, and a corrupt kernel throws here with
+// a disassembly diagnostic instead of faulting at runtime.
+template <class Kernel, class Desc>
+const std::unique_ptr<Kernel>& verified(const std::unique_ptr<Kernel>& k,
+                                        const Desc& d) {
+  jit::verify::maybe_verify(jit::verify::contract_for(d), k->code(),
+                            k->code_size(), d.key());
+  return k;
+}
+
 class JitConvKernel final : public ConvMicrokernel {
  public:
   explicit JitConvKernel(const jit::ConvKernelDesc& d)
-      : ConvMicrokernel(d), k_(jit::generate_conv_kernel(d)) {}
+      : ConvMicrokernel(d), k_(jit::generate_conv_kernel(d)) {
+    verified(k_, d);
+  }
 
   void run(const float* in, const float* wt, float* out, const float* pf_in,
            const float* pf_wt, const float* pf_out) const override {
@@ -28,7 +43,9 @@ class JitConvKernel final : public ConvMicrokernel {
 class JitUpdKernel final : public UpdMicrokernel {
  public:
   explicit JitUpdKernel(const jit::UpdKernelDesc& d)
-      : UpdMicrokernel(d), k_(jit::generate_upd_kernel(d)) {}
+      : UpdMicrokernel(d), k_(jit::generate_upd_kernel(d)) {
+    verified(k_, d);
+  }
 
   void run(const float* in, const float* dout, float* dw, const float* pf_in,
            const float* pf_dout, const float* pf_dw) const override {
@@ -43,7 +60,9 @@ class JitUpdKernel final : public UpdMicrokernel {
 class JitReduceKernel final : public ReduceMicrokernel {
  public:
   explicit JitReduceKernel(const jit::ReduceKernelDesc& d)
-      : ReduceMicrokernel(d), k_(jit::generate_reduce_kernel(d)) {}
+      : ReduceMicrokernel(d), k_(jit::generate_reduce_kernel(d)) {
+    verified(k_, d);
+  }
 
   void run(const float* src, float* dst, std::int64_t n) const override {
     const auto& d = desc_;
@@ -67,7 +86,9 @@ class JitReduceKernel final : public ReduceMicrokernel {
 class JitCodecKernel final : public CodecMicrokernel {
  public:
   explicit JitCodecKernel(const jit::CodecKernelDesc& d)
-      : CodecMicrokernel(d), k_(jit::generate_codec_kernel(d)) {}
+      : CodecMicrokernel(d), k_(jit::generate_codec_kernel(d)) {
+    verified(k_, d);
+  }
 
   std::int64_t run(const CodecCall& call) const override {
     const std::int64_t nv = call.n / desc_.vlen;

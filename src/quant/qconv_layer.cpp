@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "jit/verify/verifier.hpp"
+
 namespace xconv::quant {
 
 namespace {
@@ -42,8 +44,12 @@ QConvLayer::QConvLayer(const core::ConvParams& p, int threads, bool use_vnni,
 const jit::QConvKernel* QConvLayer::jit_kernel(const QKernelDesc& d) {
   const std::string key = jit::qconv_desc_key(d);
   auto it = jit_cache_.find(key);
-  if (it == jit_cache_.end())
+  if (it == jit_cache_.end()) {
     it = jit_cache_.emplace(key, jit::generate_qconv_kernel(d)).first;
+    const jit::QConvKernel& k = *it->second;
+    jit::verify::maybe_verify(jit::verify::contract_for(d), k.code(),
+                              k.code_size(), key);
+  }
   return it->second.get();
 }
 

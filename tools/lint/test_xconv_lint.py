@@ -170,6 +170,74 @@ class RuleTest(unittest.TestCase):
         make_repo(self.repo, {"src/jit/assembler.cpp": "void a() {}\n"})
         self.assertEqual(lint.check_jit_bitwise_test(self.repo), [])
 
+    # --- decoder-coverage ---------------------------------------------------
+
+    ASM_HPP = ("#pragma once\n"
+               "namespace xconv::jit {\n"
+               "class Assembler {\n"
+               " public:\n"
+               "  void ret();\n"
+               "  void push(int r);\n"
+               "  std::size_t here() const { return 0; }\n"
+               " private:\n"
+               "  void rex(bool w, int reg, int index, int base);\n"
+               "};\n"
+               "}\n")
+    DECODER_CPP = ("// BEGIN-DECODER-COVERAGE\n"
+                   "const char* const kCoveredAssemblerOps[] = {\n"
+                   '    "ret",\n'
+                   '    "push",\n'
+                   "};\n"
+                   "// END-DECODER-COVERAGE\n")
+
+    def decoder_repo(self, asm=None, dec=None):
+        make_repo(self.repo, {
+            "src/jit/assembler.hpp": asm if asm is not None else self.ASM_HPP,
+            "src/jit/verify/decoder.cpp":
+                dec if dec is not None else self.DECODER_CPP})
+
+    def test_covered_assembler_passes(self):
+        self.decoder_repo()
+        self.assertEqual(lint.check_decoder_coverage(self.repo), [])
+
+    def test_uncovered_method_flagged(self):
+        self.decoder_repo(asm=self.ASM_HPP.replace(
+            "  void push(int r);\n",
+            "  void push(int r);\n  void pop(int r);\n"))
+        v = lint.check_decoder_coverage(self.repo)
+        self.assertEqual([x.path for x in v], ["src/jit/assembler.hpp"])
+        self.assertIn("Assembler::pop", v[0].message)
+        self.assertEqual(v[0].line, 7)  # the `void pop` line
+
+    def test_stale_coverage_entry_flagged(self):
+        self.decoder_repo(dec=self.DECODER_CPP.replace(
+            '    "push",\n', '    "push",\n    "vzeroupper",\n'))
+        v = lint.check_decoder_coverage(self.repo)
+        self.assertEqual([x.path for x in v],
+                         ["src/jit/verify/decoder.cpp"])
+        self.assertIn('"vzeroupper"', v[0].message)
+
+    def test_missing_markers_flagged(self):
+        self.decoder_repo(dec="const char* const k[] = {\"ret\"};\n")
+        v = lint.check_decoder_coverage(self.repo)
+        self.assertEqual(len(v), 1)
+        self.assertIn("markers missing", v[0].message)
+
+    def test_missing_decoder_file_flagged(self):
+        make_repo(self.repo, {"src/jit/assembler.hpp": self.ASM_HPP})
+        v = lint.check_decoder_coverage(self.repo)
+        self.assertEqual(len(v), 1)
+        self.assertIn("coverage table is missing", v[0].message)
+
+    def test_private_helpers_and_here_not_required(self):
+        # rex() is private and here() is non-void: neither needs coverage,
+        # so the baseline fixture (which covers only ret/push) stays clean.
+        self.decoder_repo()
+        self.assertEqual(lint.check_decoder_coverage(self.repo), [])
+
+    def test_no_assembler_layer_passes(self):
+        self.assertEqual(lint.check_decoder_coverage(self.repo), [])
+
     # --- bench-schema -------------------------------------------------------
 
     BENCH = ('#include <cstdio>\nvoid w(std::FILE* f) {\n'

@@ -47,6 +47,16 @@ jit-bitwise-test
     scalar reference. The repo's correctness story for generated machine
     code is bitwise equality with the scalar loops — a generator without
     that cross-check is unverifiable by construction.
+decoder-coverage
+    Every public instruction method of ``jit::Assembler``
+    (src/jit/assembler.hpp) must appear in the decoder's coverage table —
+    the quoted names between the ``BEGIN-DECODER-COVERAGE`` /
+    ``END-DECODER-COVERAGE`` markers in ``src/jit/verify/decoder.cpp`` —
+    and vice versa. The static verifier treats any byte sequence its
+    decoder cannot parse as a corrupt kernel, so an assembler method the
+    decoder does not know about would make every kernel using it fail
+    verification; this rule forces the decoder (and its Op enum, which the
+    table mirrors) to grow in the same commit as the emitter.
 
 Usage
 -----
@@ -300,6 +310,89 @@ def check_jit_bitwise_test(repo: Path) -> list:
     return out
 
 
+# --- rule: decoder-coverage -------------------------------------------------
+
+ASSEMBLER_HEADER = "src/jit/assembler.hpp"
+DECODER_TABLE = "src/jit/verify/decoder.cpp"
+COVERAGE_BEGIN = "BEGIN-DECODER-COVERAGE"
+COVERAGE_END = "END-DECODER-COVERAGE"
+ASM_METHOD_RE = re.compile(r"^\s*void\s+(\w+)\s*\(", re.MULTILINE)
+COVERED_NAME_RE = re.compile(r'"(\w+)"')
+
+
+def scan_assembler_methods(text: str) -> dict:
+    """Public instruction methods of class Assembler: name -> 1-based line.
+    Parses the class body up to the first access-specifier change; only
+    void-returning methods count (here() and the constructor are not
+    instructions)."""
+    m = re.search(r"class\s+Assembler\b", text)
+    if m is None:
+        return {}
+    body = text[m.end():]
+    cut = re.search(r"^\s*(?:private|protected)\s*:", body, re.MULTILINE)
+    if cut is not None:
+        body = body[:cut.start()]
+    base_line = text.count("\n", 0, m.end()) + 1
+    methods = {}
+    for mm in ASM_METHOD_RE.finditer(body):
+        line = base_line + body.count("\n", 0, mm.start())
+        methods.setdefault(mm.group(1), line)
+    return methods
+
+
+def scan_decoder_coverage(text: str):
+    """(name -> 1-based line) for the quoted names between the coverage
+    markers, or None when the markers are absent/malformed."""
+    begin = text.find(COVERAGE_BEGIN)
+    end = text.find(COVERAGE_END)
+    if begin < 0 or end < 0 or end <= begin:
+        return None
+    region = text[begin:end]
+    base_line = text.count("\n", 0, begin) + 1
+    names = {}
+    for mm in COVERED_NAME_RE.finditer(region):
+        line = base_line + region.count("\n", 0, mm.start())
+        names.setdefault(mm.group(1), line)
+    return names
+
+
+def check_decoder_coverage(repo: Path) -> list:
+    header = repo / ASSEMBLER_HEADER
+    table = repo / DECODER_TABLE
+    if not header.is_file():
+        return []  # no assembler layer: nothing to cover
+    methods = scan_assembler_methods(
+        strip_comments(header.read_text(encoding="utf-8", errors="replace")))
+    if not methods:
+        return []
+    if not table.is_file():
+        return [Violation(DECODER_TABLE, 1, "decoder-coverage",
+                          "assembler.hpp defines instruction methods but the "
+                          "decoder coverage table is missing")]
+    covered = scan_decoder_coverage(
+        table.read_text(encoding="utf-8", errors="replace"))
+    if covered is None:
+        return [Violation(DECODER_TABLE, 1, "decoder-coverage",
+                          f"{COVERAGE_BEGIN}/{COVERAGE_END} markers missing "
+                          "or malformed; the lint rule cannot audit decoder "
+                          "coverage")]
+    out = []
+    for name, line in sorted(methods.items(), key=lambda kv: kv[1]):
+        if name not in covered:
+            out.append(Violation(
+                ASSEMBLER_HEADER, line, "decoder-coverage",
+                f"Assembler::{name} has no decoder coverage; teach "
+                "src/jit/verify/decoder.cpp the encoding (Op enum + decode "
+                "case + coverage-table entry) in the same commit"))
+    for name, line in sorted(covered.items(), key=lambda kv: kv[1]):
+        if name not in methods:
+            out.append(Violation(
+                DECODER_TABLE, line, "decoder-coverage",
+                f'stale coverage entry "{name}": no such public Assembler '
+                "instruction method"))
+    return out
+
+
 # --- rule: bench-schema -----------------------------------------------------
 
 def scan_bench_emitters(repo: Path) -> dict:
@@ -461,6 +554,7 @@ RULES = (
     check_omp_in_header,
     check_test_registration,
     check_jit_bitwise_test,
+    check_decoder_coverage,
     check_bench_schema,
     check_plan_schema,
 )
